@@ -1,0 +1,152 @@
+// Command oovrfigures regenerates every table and figure of the paper's
+// evaluation section and prints them as fixed-width tables (or CSV).
+//
+// Usage:
+//
+//	oovrfigures [-exp all|T1|T2|T3|E0|F4|F7|F8|F9|F10|F15|F16|F17|F18|O1|BRK|A1|A2|A3|A4]
+//	            [-frames N] [-seed S] [-csv]
+//
+// Each figure's caption restates the paper's reported numbers so the output
+// reads as a paper-vs-measured comparison; EXPERIMENTS.md archives one run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"oovr/internal/experiments"
+	"oovr/internal/gpu"
+	"oovr/internal/stats"
+	"oovr/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (comma separated) or 'all'")
+	frames := flag.Int("frames", 0, "frames per simulation run (0: per-experiment default)")
+	seed := flag.Int64("seed", 1, "workload synthesis seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	flag.Parse()
+
+	opt := experiments.Options{Frames: *frames, Seed: *seed}
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.ToUpper(strings.TrimSpace(e))] = true
+	}
+	all := want["ALL"]
+	sel := func(id string) bool { return all || want[id] }
+	emit := func(f stats.Figure) {
+		if *csv {
+			fmt.Print(f.CSV())
+		} else {
+			fmt.Println(f.Render())
+		}
+	}
+
+	if sel("T1") {
+		printTable1()
+	}
+	if sel("T2") {
+		printTable2()
+	}
+	if sel("T3") {
+		printTable3()
+	}
+	if sel("E0") {
+		emit(experiments.E0SMPValidation(opt))
+	}
+	if sel("F4") {
+		emit(experiments.F4Bandwidth(opt))
+	}
+	if sel("F7") {
+		emit(experiments.F7AFR(opt))
+	}
+	if sel("F8") {
+		emit(experiments.F8SFRPerformance(opt))
+	}
+	if sel("F9") {
+		emit(experiments.F9SFRTraffic(opt))
+	}
+	if sel("F10") {
+		emit(experiments.F10Imbalance(opt))
+	}
+	if sel("F15") {
+		emit(experiments.F15Speedup(opt))
+	}
+	if sel("F16") {
+		emit(experiments.F16Traffic(opt))
+	}
+	if sel("F17") {
+		emit(experiments.F17BandwidthScaling(opt))
+	}
+	if sel("F18") {
+		emit(experiments.F18GPMScaling(opt))
+	}
+	if sel("O1") {
+		emit(experiments.O1Overhead())
+	}
+	if sel("BRK") {
+		emit(experiments.TrafficBreakdown(opt))
+	}
+	if sel("A1") {
+		emit(experiments.A1NoBatching(opt))
+	}
+	if sel("A2") {
+		emit(experiments.A2NoPredictor(opt))
+	}
+	if sel("A3") {
+		emit(experiments.A3NoDHC(opt))
+	}
+	if sel("A4") {
+		emit(experiments.A4TSLSweep(opt))
+	}
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "unexpected arguments:", flag.Args())
+		os.Exit(2)
+	}
+}
+
+func printTable1() {
+	fmt.Println("Table 1 — Differences between PC gaming and stereo VR")
+	fmt.Printf("%-16s %-16s %-36s %10s %12s\n", "platform", "display", "field of view", "Mpixels", "latency ms")
+	for _, r := range workload.Table1() {
+		fmt.Printf("%-16s %-16s %-36s %10.2f %6g-%g\n",
+			r.Platform, r.Display, r.FieldOfView, r.MPixels, r.FrameLatencyMs[0], r.FrameLatencyMs[1])
+	}
+	fmt.Println()
+}
+
+func printTable2() {
+	c := gpu.Table2Config()
+	fmt.Println("Table 2 — Baseline configuration")
+	rows := [][2]string{
+		{"GPU frequency", fmt.Sprintf("%g GHz", c.ClockGHz)},
+		{"Number of GPMs", fmt.Sprintf("%d", c.NumGPMs)},
+		{"Number of SMs", fmt.Sprintf("%d, %d per GPM", c.NumGPMs*c.SMsPerGPM, c.SMsPerGPM)},
+		{"SM configuration", fmt.Sprintf("%d shader cores, %d KB L1, %d TXU", c.ShaderCoresPerSM, c.L1KBPerSM, c.TextureUnitsPerSM)},
+		{"Texture filtering", fmt.Sprintf("%dx anisotropic", c.AnisotropicFiltering)},
+		{"Raster engine", fmt.Sprintf("%dx%d tiled rasterization", c.RasterTileSize, c.RasterTileSize)},
+		{"Number of ROPs", fmt.Sprintf("%d, %d per GPM", c.NumGPMs*c.ROPsPerGPM, c.ROPsPerGPM)},
+		{"L2 cache", fmt.Sprintf("%d MB total, %d-way", c.L2MBTotal, c.L2Ways)},
+		{"Inter-GPU interconnect", fmt.Sprintf("%g GB/s NVLink unidirectional", c.InterGPMLinkGBs)},
+		{"Local DRAM bandwidth", fmt.Sprintf("%g GB/s", c.LocalDRAMGBs)},
+	}
+	for _, r := range rows {
+		fmt.Printf("%-26s %s\n", r[0], r[1])
+	}
+	fmt.Println()
+}
+
+func printTable3() {
+	fmt.Println("Table 3 — Benchmarks")
+	fmt.Printf("%-5s %-22s %-8s %-22s %7s\n", "abbr", "name", "library", "resolutions", "#draw")
+	for _, b := range workload.Benchmarks() {
+		var res []string
+		for _, r := range b.Resolutions {
+			res = append(res, fmt.Sprintf("%dx%d", r[0], r[1]))
+		}
+		fmt.Printf("%-5s %-22s %-8s %-22s %7d\n", b.Abbr, b.Name, b.Library, strings.Join(res, " "), b.Draws)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,97 @@
+// Custom scheduler: the simulator's Scheduler interface is open — this
+// example implements a *fragment-greedy* object distributor (longest-
+// processing-time-first over per-object fragment counts, views merged with
+// SMP) and races it against round-robin object-level SFR and OO-VR.
+//
+// It demonstrates the extension surface a systems researcher would use to
+// prototype a new distribution policy on the NUMA multi-GPU model, and it
+// shows why OO-VR still wins: greedy balancing fixes load imbalance but
+// does nothing for texture-sharing locality.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"oovr"
+)
+
+// GreedyFragments assigns whole objects (both views, SMP) to the GPM with
+// the least accumulated fragment load, processing objects in decreasing
+// fragment order — classic LPT scheduling with perfect oracle knowledge of
+// per-object cost, something the paper's hardware predictor can only
+// approximate.
+type GreedyFragments struct{}
+
+// Name implements oovr.Scheduler.
+func (GreedyFragments) Name() string { return "Greedy-LPT" }
+
+// Render implements oovr.Scheduler.
+func (GreedyFragments) Render(sys *oovr.System) oovr.Metrics {
+	sc := sys.Scene()
+	n := sys.NumGPMs()
+	for fi := range sc.Frames {
+		sys.BeginFrame()
+		f := &sc.Frames[fi]
+
+		// Sort object indices by fragment weight, heaviest first.
+		order := make([]int, len(f.Objects))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return f.Objects[order[a]].FragsPerView > f.Objects[order[b]].FragsPerView
+		})
+
+		load := make([]float64, n)
+		tasks := make([]oovr.Task, n)
+		for g := range tasks {
+			tasks[g] = oovr.Task{Color: oovr.ColorLocalStage, ShipTextures: true, ShipExact: true, Prefetch: true}
+		}
+		for _, oi := range order {
+			// Least-loaded GPM gets the next heaviest object.
+			g := 0
+			for cand := 1; cand < n; cand++ {
+				if load[cand] < load[g] {
+					g = cand
+				}
+			}
+			o := &f.Objects[oi]
+			load[g] += 2 * o.FragsPerView
+			tasks[g].Parts = append(tasks[g].Parts, oovr.TaskPart{
+				Object: o, Mode: oovr.ModeBothSMP, GeomFrac: 1, FragFrac: 1,
+			})
+		}
+		for g := 0; g < n; g++ {
+			if len(tasks[g].Parts) > 0 {
+				sys.Run(oovr.GPMID(g), tasks[g])
+			}
+		}
+		sys.ComposeToRoot(0)
+		sys.EndFrame()
+	}
+	return sys.Collect(GreedyFragments{}.Name())
+}
+
+func main() {
+	spec, _ := oovr.BenchmarkByAbbr("DM3")
+	run := func(s oovr.Scheduler) oovr.Metrics {
+		scene := spec.Generate(1280, 1024, 4, 1)
+		return s.Render(oovr.NewSystem(oovr.DefaultOptions(), scene))
+	}
+
+	fmt.Println("DM3 1280x1024, 4 GPMs — custom scheduler shoot-out")
+	fmt.Printf("%-14s %14s %14s %12s\n", "scheme", "cycles/frame", "inter-GPM MB", "busy ratio")
+	for _, s := range []oovr.Scheduler{
+		oovr.ObjectSFR{},
+		GreedyFragments{},
+		oovr.NewOOVR(),
+	} {
+		m := run(s)
+		fmt.Printf("%-14s %14.0f %14.1f %12.2f\n",
+			m.Scheme, m.FPSCycles(), m.InterGPMBytes/1e6, m.BestToWorstBusyRatio())
+	}
+	fmt.Println("\nGreedy-LPT balances load with oracle cost knowledge, but only the")
+	fmt.Println("OO programming model removes the cross-view and cross-object texture")
+	fmt.Println("traffic — balance alone does not fix NUMA.")
+}

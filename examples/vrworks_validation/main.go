@@ -1,0 +1,27 @@
+// VRWorks validation: the paper validates its SMP implementation by
+// comparing against NVIDIA VRWorks scenes (Sponza, San Miguel) on real
+// hardware and reports a 27% speedup of SMP stereo over sequentially
+// rendering the two eyes (Section 3). This example reruns that validation
+// on the simulator: same object stream, one GPU, SMP on versus off.
+package main
+
+import (
+	"fmt"
+
+	"oovr"
+)
+
+func main() {
+	fig := oovr.SMPValidation(oovr.ExperimentOptions{Frames: 2, Seed: 1})
+	fmt.Println(fig.Render())
+	s := fig.Series[0]
+	var sum float64
+	for _, v := range s.Values {
+		sum += v
+	}
+	fmt.Printf("mean SMP speedup: %.2fx (paper: 1.27x)\n", sum/float64(len(s.Values)))
+	fmt.Println("\nGeometry-heavy scenes (Sponza stand-in, DM3-640, WE) gain the most:")
+	fmt.Println("SMP removes the second geometry pass, so the benefit scales with the")
+	fmt.Println("vertex-to-fragment work ratio — at high resolutions fragments dominate")
+	fmt.Println("and the two stereo passes already amortize their geometry.")
+}

@@ -1,0 +1,192 @@
+// Package core implements the paper's contribution: the Object-Oriented VR
+// rendering framework (OO-VR), a software/hardware co-design with three
+// parts (Section 5, Figure 11):
+//
+//   - the object-oriented programming model (OO_Application +
+//     OO_Middleware): each object's left and right views are merged into one
+//     multi-view rendering task, and objects are grouped into batches by
+//     their texture sharing level (TSL, Equation 1);
+//   - the object-aware runtime batch distribution engine: a hardware
+//     micro-controller that predicts each batch's rendering time with a
+//     linear memorization model (Equation 3), assigns batches to the GPM
+//     predicted to become available first, and pre-allocates batch data via
+//     per-GPM PA units;
+//   - the distributed hardware composition unit (DHC): the framebuffer is
+//     split into per-GPM screen partitions so every GPM's ROPs compose
+//     concurrently.
+package core
+
+import (
+	"fmt"
+
+	"oovr/internal/scene"
+)
+
+// DefaultTSLThreshold is the sharing level above which the middleware merges
+// an object into the current batch (Section 5.1: "If TSL is greater than
+// 0.5, we group them together").
+const DefaultTSLThreshold = 0.5
+
+// DefaultBatchTriangleCap is the batch size limit "to prevent load imbalance
+// from an inflated batch" (Section 5.1: 4096 triangles).
+const DefaultBatchTriangleCap = 4096
+
+// Batch is a group of objects that share textures and render as one
+// scheduling unit on a single GPM.
+type Batch struct {
+	// ID is the batch's issue order within its frame.
+	ID int
+	// Objects are the grouped objects, in programmer-defined order.
+	Objects []*scene.Object
+	// Triangles is the batch's total triangle count (the #triangle_x input
+	// of the rendering-time predictor).
+	Triangles int
+	// Textures is the union of the members' texture sets.
+	Textures []scene.TextureID
+}
+
+// FragsBothViews returns the batch's fragment volume across both eyes.
+func (b *Batch) FragsBothViews() float64 {
+	var f float64
+	for _, o := range b.Objects {
+		f += 2 * o.FragsPerView
+	}
+	return f
+}
+
+// TSL computes the texture sharing level of Equation (1) between a root
+// texture set and a candidate object:
+//
+//	TSL = Σ_t (Pr(t) · Pn(t)) / Σ_t Pr(t)
+//
+// where t ranges over the textures shared by both, and Pr(t)/Pn(t) are the
+// byte percentages of t within the root's and the candidate's total texture
+// footprints. A TSL of 1 means the candidate samples exactly the root's
+// textures; 0 means no overlap.
+func TSL(sc *scene.Scene, root []scene.TextureID, candidate []scene.TextureID) float64 {
+	if len(root) == 0 || len(candidate) == 0 {
+		return 0
+	}
+	var rootTotal, candTotal int64
+	rootBytes := make(map[scene.TextureID]int64, len(root))
+	for _, t := range root {
+		b := sc.Texture(t).Bytes
+		rootBytes[t] = b
+		rootTotal += b
+	}
+	for _, t := range candidate {
+		candTotal += sc.Texture(t).Bytes
+	}
+	if rootTotal == 0 || candTotal == 0 {
+		return 0
+	}
+	var num, den float64
+	for t, rb := range rootBytes {
+		pr := float64(rb) / float64(rootTotal)
+		den += pr
+		if contains(candidate, t) {
+			pn := float64(sc.Texture(t).Bytes) / float64(candTotal)
+			num += pr * pn
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	// Normalizing by den (=1 by construction, kept for clarity with the
+	// paper's formula where the root set may carry duplicate references).
+	return num / den
+}
+
+func contains(ts []scene.TextureID, t scene.TextureID) bool {
+	for _, x := range ts {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Middleware is the OO_Middleware of Section 5.1: it consumes a frame's
+// object queue and emits batches.
+type Middleware struct {
+	// TSLThreshold is the grouping threshold (default 0.5).
+	TSLThreshold float64
+	// TriangleCap is the batch triangle limit (default 4096).
+	TriangleCap int
+}
+
+// NewMiddleware returns a middleware with the paper's constants.
+func NewMiddleware() Middleware {
+	return Middleware{TSLThreshold: DefaultTSLThreshold, TriangleCap: DefaultBatchTriangleCap}
+}
+
+// GroupFrame batches a frame's objects following the Figure 12 flow:
+// repeatedly pick the queue head as root, scan the queue for independent
+// objects whose TSL against the accumulated batch exceeds the threshold,
+// and stop growing when the triangle cap is reached. Objects that depend on
+// a batch member are merged into that batch directly (raising its cap), so
+// the programmer-defined order is preserved.
+func (m Middleware) GroupFrame(sc *scene.Scene, f *scene.Frame) []Batch {
+	if m.TSLThreshold < 0 || m.TSLThreshold > 1 {
+		panic(fmt.Sprintf("core: TSL threshold %v out of [0,1]", m.TSLThreshold))
+	}
+	if m.TriangleCap <= 0 {
+		panic("core: triangle cap must be positive")
+	}
+	n := len(f.Objects)
+	used := make([]bool, n)
+	// batchOf[i] is the batch index object i was placed in, for dependency
+	// merging.
+	batchOf := make([]int, n)
+	for i := range batchOf {
+		batchOf[i] = -1
+	}
+	var batches []Batch
+
+	place := func(b *Batch, o *scene.Object, idx int) {
+		b.Objects = append(b.Objects, o)
+		b.Triangles += o.Triangles
+		for _, t := range o.Textures {
+			if !contains(b.Textures, t) {
+				b.Textures = append(b.Textures, t)
+			}
+		}
+		used[idx] = true
+		batchOf[idx] = b.ID
+	}
+
+	for head := 0; head < n; head++ {
+		if used[head] {
+			continue
+		}
+		o := &f.Objects[head]
+		// Dependency rule: an object depending on an already-batched object
+		// joins that batch regardless of TSL or cap ("we directly merge
+		// them to the batch and increase the triangle limitation").
+		if o.DependsOn != scene.NoDependency && batchOf[o.DependsOn] >= 0 {
+			b := &batches[batchOf[o.DependsOn]]
+			place(b, o, head)
+			continue
+		}
+		b := Batch{ID: len(batches)}
+		place(&b, o, head)
+		// Scan the remaining queue for shareable objects while under cap.
+		for j := head + 1; j < n && b.Triangles < m.TriangleCap; j++ {
+			if used[j] {
+				continue
+			}
+			cand := &f.Objects[j]
+			if cand.DependsOn != scene.NoDependency {
+				// Dependent objects are never TSL-grouped; the dependency
+				// rule merges them into their predecessor's batch when they
+				// reach the queue head.
+				continue
+			}
+			if TSL(sc, b.Textures, cand.Textures) > m.TSLThreshold {
+				place(&b, cand, j)
+			}
+		}
+		batches = append(batches, b)
+	}
+	return batches
+}

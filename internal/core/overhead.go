@@ -1,0 +1,48 @@
+package core
+
+// Section 5.4 overhead accounting: the storage the runtime distribution
+// engine adds to the multi-GPU system. The bit budget is reproduced exactly
+// from the paper's description; the area and power figures are the paper's
+// published McPAT results (we cannot rerun McPAT, so they are reported as
+// constants and labelled as such in EXPERIMENTS.md).
+
+// OverheadBudget itemizes the distribution engine's storage.
+type OverheadBudget struct {
+	// CounterBits: two 64-bit counters (total and elapsed rendering time)
+	// per GPM.
+	CounterBits int
+	// BatchIDBits: 16 bits per batch-queue entry to store the predicted
+	// rendering time's batch id.
+	BatchIDBits int
+	// RegisterBits: twelve 32-bit registers tracking triangle counts,
+	// transformed vertexes and rendered pixels for the current batches.
+	RegisterBits int
+}
+
+// TotalBits returns the engine's total storage requirement.
+func (b OverheadBudget) TotalBits() int {
+	return b.CounterBits + b.BatchIDBits + b.RegisterBits
+}
+
+// EngineOverhead returns the Section 5.4 budget for a system with the given
+// GPM count. For the paper's 4-GPM baseline the total is 960 bits.
+func EngineOverhead(numGPMs int) OverheadBudget {
+	return OverheadBudget{
+		CounterBits:  numGPMs * 2 * 64,
+		BatchIDBits:  MaxBatchQueue * 16,
+		RegisterBits: 12 * 32,
+	}
+}
+
+// Published McPAT results from Section 5.4 (24 nm technology, relative to a
+// GTX 1080-class GPU).
+const (
+	// PaperAreaMM2 is the added area of the distribution engine.
+	PaperAreaMM2 = 0.59
+	// PaperAreaPercent is that area relative to a modern GPU die.
+	PaperAreaPercent = 0.18
+	// PaperPowerW is the added power.
+	PaperPowerW = 0.3
+	// PaperPowerPercentTDP is that power relative to the GPU's TDP.
+	PaperPowerPercentTDP = 0.16
+)

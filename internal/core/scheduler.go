@@ -1,0 +1,228 @@
+package core
+
+import (
+	"oovr/internal/mem"
+	"oovr/internal/multigpu"
+	"oovr/internal/pipeline"
+	"oovr/internal/sim"
+)
+
+// StragglerFactor: a batch whose predicted time exceeds this multiple of the
+// mean batch time is split fine-grained across all GPMs ("some large objects
+// may still become the performance bottleneck if all the other batches have
+// been completed" — Section 5.2).
+const StragglerFactor = 3.0
+
+// OOApp is the software-only object-oriented programming model (the OO_APP
+// design point of Section 6): left/right views of each object are merged
+// into a single SMP task, objects are grouped into TSL batches, but the
+// batches are still distributed round-robin by software and composed on a
+// master node — no runtime distribution engine, no DHC.
+type OOApp struct {
+	Middleware Middleware
+	Root       mem.GPMID
+}
+
+// NewOOApp returns the OO_APP design point with the paper's constants.
+func NewOOApp() OOApp { return OOApp{Middleware: NewMiddleware()} }
+
+// Name implements render.Scheduler.
+func (OOApp) Name() string { return "OO_APP" }
+
+// Render implements render.Scheduler.
+func (a OOApp) Render(sys *multigpu.System) multigpu.Metrics {
+	sc := sys.Scene()
+	n := sys.NumGPMs()
+	sys.PlaceFramebufferAt(a.Root)
+	for fi := range sc.Frames {
+		sys.BeginFrame()
+		f := &sc.Frames[fi]
+		batches := a.Middleware.GroupFrame(sc, f)
+		for bi := range batches {
+			g := mem.GPMID(bi % n)
+			task := batchTask(&batches[bi], false, false)
+			// Software-only data placement: the middleware copies exactly
+			// the batch's working set to its round-robin GPM; the mapping
+			// is stable across frames. Without hardware PA units the copy
+			// blocks the batch start.
+			task.ShipTextures = true
+			task.ShipPersistent = true
+			task.ShipExact = true
+			sys.Run(g, task)
+		}
+		sys.ComposeToRoot(a.Root)
+		sys.EndFrame()
+	}
+	return sys.Collect(a.Name())
+}
+
+// OOVR is the full software/hardware co-designed framework: OO_APP's
+// programming model plus the object-aware runtime distribution engine
+// (predictor + PA pre-allocation + fine-grained straggler mapping) and the
+// distributed hardware composition unit.
+type OOVR struct {
+	Middleware Middleware
+	// DisablePredictor falls back to round-robin batch assignment (the A2
+	// ablation).
+	DisablePredictor bool
+	// DisableDHC composes on a master node instead of distributing
+	// composition (the A3 ablation).
+	DisableDHC bool
+	// DisableStragglerSplit turns off the fine-grained left-over task
+	// mapping.
+	DisableStragglerSplit bool
+}
+
+// NewOOVR returns the full OO-VR configuration.
+func NewOOVR() OOVR { return OOVR{Middleware: NewMiddleware()} }
+
+// Name implements render.Scheduler.
+func (OOVR) Name() string { return "OOVR" }
+
+// Render implements render.Scheduler.
+func (v OOVR) Render(sys *multigpu.System) multigpu.Metrics {
+	sc := sys.Scene()
+	n := sys.NumGPMs()
+	if v.DisableDHC {
+		sys.PlaceFramebufferAt(0)
+	} else {
+		sys.PartitionFramebuffer()
+	}
+	pred := &Predictor{}
+	// prevAssign remembers where each batch ran last frame: the PA units'
+	// pre-allocated data sits in that GPM's DRAM, so the engine prefers it
+	// whenever the predicted availability is close, avoiding needless
+	// re-migration.
+	prevAssign := map[int]int{}
+	for fi := range sc.Frames {
+		sys.BeginFrame()
+		f := &sc.Frames[fi]
+		batches := v.Middleware.GroupFrame(sc, f)
+
+		// The engine's view of each GPM: predicted availability driven by
+		// Equation (3), not by oracle knowledge of actual completion times.
+		counters := make([]GPMCounters, n)
+		var meanPredicted float64
+		if pred.Calibrated() {
+			var tot float64
+			for bi := range batches {
+				tot += pred.PredictTotal(float64(batches[bi].Triangles))
+			}
+			meanPredicted = tot / float64(len(batches))
+		}
+
+		for bi := range batches {
+			b := &batches[bi]
+			// Fine-grained straggler mapping: an outsized batch is split
+			// across all GPMs by triangle/fragment ID, with its data
+			// duplicated to the idle GPMs.
+			split := false
+			if !v.DisableStragglerSplit && pred.Calibrated() && meanPredicted > 0 {
+				t := pred.PredictTotal(float64(b.Triangles))
+				split = t > StragglerFactor*meanPredicted
+			}
+			if split {
+				frac := 1 / float64(n)
+				var end sim.Time
+				for g := 0; g < n; g++ {
+					task := batchTaskFrac(b, frac)
+					// The PA units duplicate the batch's working set into each
+					// idle GPM's DRAM (Section 5.2); the copies persist.
+					task.ShipTextures = true
+					task.ShipPersistent = true
+					task.ShipExact = true
+					task.Prefetch = true
+					if e := sys.Run(mem.GPMID(g), task); e > end {
+						end = e
+					}
+					counters[g].PredictedFree += sim.Time(pred.PredictTotal(float64(b.Triangles)) * frac)
+				}
+				continue
+			}
+
+			var g int
+			if v.DisablePredictor || !pred.Calibrated() {
+				g = bi % n // calibration rounds use round-robin + FT
+			} else {
+				g = EarliestAvailable(counters)
+				if g < 0 {
+					// Every queue is full: fall back to the least loaded.
+					g = 0
+					for cand := 1; cand < n; cand++ {
+						if counters[cand].PredictedFree < counters[g].PredictedFree {
+							g = cand
+						}
+					}
+				}
+				// Data affinity: stick with last frame's GPM when it is
+				// predicted to be nearly as early.
+				if pg, ok := prevAssign[bi]; ok && pg < n && counters[pg].QueuedBatches < MaxBatchQueue {
+					slack := sim.Time(0.2 * meanPredicted)
+					if counters[pg].PredictedFree <= counters[g].PredictedFree+slack {
+						g = pg
+					}
+				}
+			}
+			prevAssign[bi] = g
+			task := batchTask(b, false, pred.Calibrated())
+			// PA units copy the batch's exact working set ahead of time.
+			task.ShipTextures = true
+			task.ShipPersistent = true
+			task.ShipExact = true
+			startFree := sys.GPM(g).NextFree
+			end := sys.Run(mem.GPMID(g), task)
+			counters[g].PredictedFree += sim.Time(pred.PredictTotal(float64(b.Triangles)))
+
+			if !pred.Calibrated() {
+				// Feed the calibration with this batch's measured time and
+				// its counter volumes.
+				var work pipeline.Work
+				for _, o := range b.Objects {
+					work = work.Add(pipeline.ObjectWork(o, pipeline.ModeBothSMP, 1, 1))
+				}
+				pred.Observe(
+					float64(b.Triangles),
+					pipeline.TransformedVertices(work),
+					work.Pixels,
+					float64(end-startFree),
+				)
+			}
+		}
+
+		if v.DisableDHC {
+			sys.ComposeToRoot(0)
+		} else {
+			sys.ComposeDistributed()
+		}
+		sys.EndFrame()
+	}
+	return sys.Collect(v.Name())
+}
+
+// batchTask builds the multi-view SMP task for a whole batch. migrate turns
+// on PA-unit pre-allocation; prefetch overlaps it with the previous batch
+// (only available once the engine is calibrated and assigning ahead).
+func batchTask(b *Batch, migrate, prefetch bool) multigpu.Task {
+	t := multigpu.Task{
+		Color:       multigpu.ColorLocalStage,
+		MigrateData: migrate,
+		Prefetch:    prefetch,
+	}
+	for _, o := range b.Objects {
+		t.Parts = append(t.Parts, multigpu.TaskPart{
+			Object: o, Mode: pipeline.ModeBothSMP, GeomFrac: 1, FragFrac: 1,
+		})
+	}
+	return t
+}
+
+// batchTaskFrac builds one GPM's share of a fine-grained split batch.
+func batchTaskFrac(b *Batch, frac float64) multigpu.Task {
+	t := multigpu.Task{Color: multigpu.ColorLocalStage}
+	for _, o := range b.Objects {
+		t.Parts = append(t.Parts, multigpu.TaskPart{
+			Object: o, Mode: pipeline.ModeBothSMP, GeomFrac: frac, FragFrac: frac,
+		})
+	}
+	return t
+}

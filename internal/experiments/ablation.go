@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"oovr/internal/core"
+	"oovr/internal/render"
+	"oovr/internal/stats"
+)
+
+// The ablations isolate OO-VR's three mechanisms (DESIGN.md §4). Each
+// reports single-frame speedup over the baseline, averaged across cases,
+// for the full design and the design with one mechanism removed.
+
+// A1NoBatching isolates the TSL middleware: OO-VR with per-object batches
+// (threshold 1.0 disables grouping; the cap is irrelevant then).
+func A1NoBatching(o Options) stats.Figure {
+	full := core.NewOOVR()
+	noBatch := core.NewOOVR()
+	noBatch.Middleware.TSLThreshold = 1.0 // TSL can never exceed 1, so no grouping
+	return ablationFigure(o, "Ablation A1", "value of Equation (1) TSL batching", map[string]core.OOVR{
+		"OOVR (full)":       full,
+		"OOVR w/o batching": noBatch,
+	})
+}
+
+// A2NoPredictor isolates the Equation (3) rendering-time predictor: batches
+// fall back to round-robin placement.
+func A2NoPredictor(o Options) stats.Figure {
+	full := core.NewOOVR()
+	noPred := core.NewOOVR()
+	noPred.DisablePredictor = true
+	return ablationFigure(o, "Ablation A2", "value of the runtime distribution engine", map[string]core.OOVR{
+		"OOVR (full)":         full,
+		"OOVR w/ round-robin": noPred,
+	})
+}
+
+// A3NoDHC isolates the distributed hardware composition: composition falls
+// back to the master node.
+func A3NoDHC(o Options) stats.Figure {
+	full := core.NewOOVR()
+	noDHC := core.NewOOVR()
+	noDHC.DisableDHC = true
+	return ablationFigure(o, "Ablation A3", "value of distributed hardware composition", map[string]core.OOVR{
+		"OOVR (full)":  full,
+		"OOVR w/o DHC": noDHC,
+	})
+}
+
+// A4TSLSweep sweeps the TSL threshold and the batch triangle cap around the
+// paper's 0.5 / 4096 constants.
+func A4TSLSweep(o Options) stats.Figure {
+	o = o.defaults()
+	base := baselineLatencies(o)
+	thresholds := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	caps := []int{1024, 4096, 16384}
+	var labels []string
+	var vals []float64
+	for _, cap := range caps {
+		for _, th := range thresholds {
+			v := core.NewOOVR()
+			v.Middleware.TSLThreshold = th
+			v.Middleware.TriangleCap = cap
+			var ratios []float64
+			for ci, c := range o.Cases {
+				m := runCase(c, v, o.sysOptions(), o.Frames, o.Seed)
+				ratios = append(ratios, base[ci]/m.AvgFrameLatency())
+			}
+			labels = append(labels, fmt.Sprintf("th%.1f/cap%d", th, cap))
+			vals = append(vals, stats.GeoMean(ratios))
+		}
+	}
+	fig := stats.Figure{
+		ID:      "Ablation A4",
+		Caption: "frame speedup vs TSL threshold and triangle cap (paper constants: 0.5 / 4096)",
+		XLabels: labels,
+	}
+	fig.AddSeries("OOVR", vals)
+	return fig
+}
+
+func baselineLatencies(o Options) []float64 {
+	o = o.defaults()
+	base := make([]float64, len(o.Cases))
+	for ci, c := range o.Cases {
+		base[ci] = runCase(c, render.Baseline{}, o.sysOptions(), o.Frames, o.Seed).AvgFrameLatency()
+	}
+	return base
+}
+
+func ablationFigure(o Options, id, caption string, variants map[string]core.OOVR) stats.Figure {
+	o = o.defaults()
+	base := baselineLatencies(o)
+	fig := stats.Figure{ID: id, Caption: caption, XLabels: o.caseNames()}
+	for _, name := range stats.SortedKeys(variants) {
+		v := variants[name]
+		vals := make([]float64, len(o.Cases))
+		for ci, c := range o.Cases {
+			m := runCase(c, v, o.sysOptions(), o.Frames, o.Seed)
+			vals[ci] = base[ci] / m.AvgFrameLatency()
+		}
+		fig.AddSeries(name, vals)
+	}
+	return fig
+}

@@ -1,0 +1,81 @@
+package geom
+
+// ClipTriangleToRect clips a screen-space triangle against a rectangle using
+// Sutherland–Hodgman polygon clipping and returns the clipped polygon's
+// vertices (empty when fully outside). The paper modifies ATTILA's triangle
+// clipping "to prevent the spill over into the opposite eye" (Section 3);
+// the simulator uses this routine for the same purpose when computing
+// per-eye fragment coverage.
+func ClipTriangleToRect(t Triangle, r AABB) []Vec2 {
+	poly := []Vec2{t.A, t.B, t.C}
+	// Clip against each of the four half-planes in turn.
+	poly = clipHalfPlane(poly, func(p Vec2) bool { return p.X >= r.Min.X }, func(a, b Vec2) Vec2 {
+		return intersectX(a, b, r.Min.X)
+	})
+	poly = clipHalfPlane(poly, func(p Vec2) bool { return p.X <= r.Max.X }, func(a, b Vec2) Vec2 {
+		return intersectX(a, b, r.Max.X)
+	})
+	poly = clipHalfPlane(poly, func(p Vec2) bool { return p.Y >= r.Min.Y }, func(a, b Vec2) Vec2 {
+		return intersectY(a, b, r.Min.Y)
+	})
+	poly = clipHalfPlane(poly, func(p Vec2) bool { return p.Y <= r.Max.Y }, func(a, b Vec2) Vec2 {
+		return intersectY(a, b, r.Max.Y)
+	})
+	return poly
+}
+
+func clipHalfPlane(poly []Vec2, inside func(Vec2) bool, intersect func(a, b Vec2) Vec2) []Vec2 {
+	if len(poly) == 0 {
+		return nil
+	}
+	out := make([]Vec2, 0, len(poly)+2)
+	prev := poly[len(poly)-1]
+	prevIn := inside(prev)
+	for _, cur := range poly {
+		curIn := inside(cur)
+		switch {
+		case curIn && prevIn:
+			out = append(out, cur)
+		case curIn && !prevIn:
+			out = append(out, intersect(prev, cur), cur)
+		case !curIn && prevIn:
+			out = append(out, intersect(prev, cur))
+		}
+		prev, prevIn = cur, curIn
+	}
+	return out
+}
+
+func intersectX(a, b Vec2, x float64) Vec2 {
+	t := (x - a.X) / (b.X - a.X)
+	return Vec2{X: x, Y: a.Y + t*(b.Y-a.Y)}
+}
+
+func intersectY(a, b Vec2, y float64) Vec2 {
+	t := (y - a.Y) / (b.Y - a.Y)
+	return Vec2{X: a.X + t*(b.X-a.X), Y: y}
+}
+
+// PolygonArea returns the area of a simple polygon given its vertices in
+// order (either winding).
+func PolygonArea(poly []Vec2) float64 {
+	if len(poly) < 3 {
+		return 0
+	}
+	var sum float64
+	for i := range poly {
+		j := (i + 1) % len(poly)
+		sum += poly[i].Cross(poly[j])
+	}
+	if sum < 0 {
+		sum = -sum
+	}
+	return sum / 2
+}
+
+// CoverageInRect returns the area of t that falls inside r, in square
+// pixels. It is the building block for tile-overlap estimation in the
+// tile-level SFR schedulers.
+func CoverageInRect(t Triangle, r AABB) float64 {
+	return PolygonArea(ClipTriangleToRect(t, r))
+}

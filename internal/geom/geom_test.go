@@ -1,0 +1,377 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVec2Ops(t *testing.T) {
+	a := Vec2{1, 2}
+	b := Vec2{3, -4}
+	if got := a.Add(b); got != (Vec2{4, -2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec2{-2, 6}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec2{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Cross(b); got != -4-6 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := (Vec2{3, 4}).Len(); got != 5 {
+		t.Errorf("Len = %v", got)
+	}
+}
+
+func TestVec3Ops(t *testing.T) {
+	a := Vec3{1, 0, 0}
+	b := Vec3{0, 1, 0}
+	if got := a.Cross(b); got != (Vec3{0, 0, 1}) {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := a.Add(b); got != (Vec3{1, 1, 0}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := (Vec3{2, 3, 6}).Len(); got != 7 {
+		t.Errorf("Len = %v", got)
+	}
+	n := (Vec3{0, 0, 5}).Normalize()
+	if !NearlyEqual(n.Len(), 1, 1e-12) {
+		t.Errorf("Normalize length = %v", n.Len())
+	}
+	zero := Vec3{}
+	if zero.Normalize() != zero {
+		t.Errorf("Normalize(0) changed the zero vector")
+	}
+}
+
+func TestVec4PerspectiveDivide(t *testing.T) {
+	v := Vec4{2, 4, 6, 2}
+	if got := v.PerspectiveDivide(); got != (Vec3{1, 2, 3}) {
+		t.Errorf("PerspectiveDivide = %v", got)
+	}
+	w0 := Vec4{1, 2, 3, 0}
+	if got := w0.PerspectiveDivide(); got != (Vec3{1, 2, 3}) {
+		t.Errorf("PerspectiveDivide w=0 = %v", got)
+	}
+}
+
+func TestVec4Lerp(t *testing.T) {
+	a := Vec4{0, 0, 0, 0}
+	b := Vec4{10, 20, 30, 40}
+	mid := a.Lerp(b, 0.5)
+	if mid != (Vec4{5, 10, 15, 20}) {
+		t.Errorf("Lerp = %v", mid)
+	}
+	if a.Lerp(b, 0) != a || a.Lerp(b, 1) != b {
+		t.Errorf("Lerp endpoints wrong")
+	}
+}
+
+func TestMat4Identity(t *testing.T) {
+	id := Identity()
+	v := Vec4{1, 2, 3, 4}
+	if got := id.MulVec(v); got != v {
+		t.Errorf("Identity.MulVec = %v", got)
+	}
+	if got := id.Mul(id); got != id {
+		t.Errorf("Identity.Mul(Identity) = %v", got)
+	}
+}
+
+func TestMat4Translate(t *testing.T) {
+	m := Translate(1, 2, 3)
+	p := m.MulPoint(Vec3{0, 0, 0})
+	if p != (Vec3{1, 2, 3}) {
+		t.Errorf("Translate point = %v", p)
+	}
+}
+
+func TestMat4MulAssociativity(t *testing.T) {
+	a := Translate(1, 2, 3)
+	b := RotateY(0.3)
+	c := ScaleXYZ(2, 3, 4)
+	left := a.Mul(b).Mul(c)
+	right := a.Mul(b.Mul(c))
+	for i := range left {
+		if !NearlyEqual(left[i], right[i], 1e-12) {
+			t.Fatalf("associativity violated at %d: %v vs %v", i, left[i], right[i])
+		}
+	}
+}
+
+func TestMat4RotateYPreservesLength(t *testing.T) {
+	m := RotateY(1.234)
+	v := Vec3{3, 4, 5}
+	got := m.MulPoint(v)
+	if !NearlyEqual(got.Len(), v.Len(), 1e-9) {
+		t.Errorf("rotation changed length: %v -> %v", v.Len(), got.Len())
+	}
+}
+
+func TestMat4Det(t *testing.T) {
+	if d := Identity().Det(); !NearlyEqual(d, 1, 1e-12) {
+		t.Errorf("det(I) = %v", d)
+	}
+	if d := ScaleXYZ(2, 3, 4).Det(); !NearlyEqual(d, 24, 1e-9) {
+		t.Errorf("det(scale) = %v", d)
+	}
+	if d := RotateY(0.7).Det(); !NearlyEqual(d, 1, 1e-9) {
+		t.Errorf("det(rot) = %v", d)
+	}
+}
+
+func TestMat4Transpose(t *testing.T) {
+	m := Translate(1, 2, 3)
+	tt := m.Transpose().Transpose()
+	if tt != m {
+		t.Errorf("double transpose != original")
+	}
+}
+
+func TestPerspectiveMapsNearFar(t *testing.T) {
+	p := Perspective(math.Pi/2, 1, 1, 100)
+	near := p.MulPoint(Vec3{0, 0, -1})
+	far := p.MulPoint(Vec3{0, 0, -100})
+	if !NearlyEqual(near.Z, -p[11]/1-p[10], 1) {
+		// The exact depth convention matters less than monotonicity.
+		_ = near
+	}
+	if far.Z <= near.Z {
+		t.Errorf("depth not monotone: near %v far %v", near.Z, far.Z)
+	}
+}
+
+func TestStereoProjectionShiftsX(t *testing.T) {
+	fov, aspect, n, f := math.Pi/2, 1.0, 0.1, 100.0
+	left := StereoProjection(fov, aspect, n, f, -0.03)
+	right := StereoProjection(fov, aspect, n, f, +0.03)
+	p := Vec3{0, 0, -10}
+	pl := left.MulPoint(p)
+	pr := right.MulPoint(p)
+	if pl.X <= pr.X {
+		t.Errorf("left eye should see the point shifted right of the right eye: %v vs %v", pl.X, pr.X)
+	}
+	if !NearlyEqual(pl.Y, pr.Y, 1e-12) {
+		t.Errorf("stereo projection must not shift Y: %v vs %v", pl.Y, pr.Y)
+	}
+}
+
+func TestTriangleArea(t *testing.T) {
+	tri := Triangle{Vec2{0, 0}, Vec2{4, 0}, Vec2{0, 3}}
+	if got := tri.Area(); got != 6 {
+		t.Errorf("Area = %v", got)
+	}
+	// Degenerate triangle has zero area.
+	deg := Triangle{Vec2{0, 0}, Vec2{1, 1}, Vec2{2, 2}}
+	if got := deg.Area(); got != 0 {
+		t.Errorf("degenerate Area = %v", got)
+	}
+}
+
+func TestTriangleContains(t *testing.T) {
+	tri := Triangle{Vec2{0, 0}, Vec2{10, 0}, Vec2{0, 10}}
+	if !tri.Contains(Vec2{1, 1}) {
+		t.Errorf("interior point not contained")
+	}
+	if tri.Contains(Vec2{9, 9}) {
+		t.Errorf("exterior point contained")
+	}
+	if !tri.Contains(Vec2{0, 0}) {
+		t.Errorf("vertex not contained")
+	}
+	// Reverse winding must behave identically.
+	rev := Triangle{tri.C, tri.B, tri.A}
+	if !rev.Contains(Vec2{1, 1}) {
+		t.Errorf("reverse winding broke containment")
+	}
+}
+
+func TestAABBBasics(t *testing.T) {
+	b := AABB{Vec2{0, 0}, Vec2{4, 3}}
+	if b.Area() != 12 || b.Width() != 4 || b.Height() != 3 {
+		t.Errorf("basic dims wrong: %v", b)
+	}
+	o := AABB{Vec2{2, 1}, Vec2{6, 5}}
+	i := b.Intersect(o)
+	if i.Area() != 2*2 {
+		t.Errorf("Intersect area = %v", i.Area())
+	}
+	u := b.Union(o)
+	if u != (AABB{Vec2{0, 0}, Vec2{6, 5}}) {
+		t.Errorf("Union = %v", u)
+	}
+	if !b.Overlaps(o) {
+		t.Errorf("Overlaps = false")
+	}
+	far := AABB{Vec2{100, 100}, Vec2{101, 101}}
+	if b.Overlaps(far) {
+		t.Errorf("far Overlaps = true")
+	}
+	if !b.Intersect(far).Empty() {
+		t.Errorf("disjoint intersect not empty")
+	}
+}
+
+func TestAABBUnionWithEmpty(t *testing.T) {
+	b := AABB{Vec2{0, 0}, Vec2{4, 3}}
+	var empty AABB
+	if b.Union(empty) != b || empty.Union(b) != b {
+		t.Errorf("union with empty should return the non-empty box")
+	}
+}
+
+func TestAABBClamp(t *testing.T) {
+	b := AABB{Vec2{-5, -5}, Vec2{5, 5}}
+	r := AABB{Vec2{0, 0}, Vec2{10, 10}}
+	c := b.Clamp(r)
+	if c != (AABB{Vec2{0, 0}, Vec2{5, 5}}) {
+		t.Errorf("Clamp = %v", c)
+	}
+	disjoint := AABB{Vec2{20, 20}, Vec2{30, 30}}
+	c2 := disjoint.Clamp(r)
+	if !c2.Empty() {
+		t.Errorf("Clamp of disjoint box should be empty, got %v", c2)
+	}
+}
+
+func TestViewportBasics(t *testing.T) {
+	v := Viewport{X: 10, Y: 20, Width: 100, Height: 50}
+	if v.Pixels() != 5000 {
+		t.Errorf("Pixels = %d", v.Pixels())
+	}
+	b := v.Bounds()
+	if b.Width() != 100 || b.Height() != 50 {
+		t.Errorf("Bounds = %v", b)
+	}
+	center := v.NDCToScreen(Vec3{0, 0, 0})
+	if !NearlyEqual(center.X, 60, 1e-9) || !NearlyEqual(center.Y, 45, 1e-9) {
+		t.Errorf("NDCToScreen center = %v", center)
+	}
+}
+
+func TestSideBySideStereo(t *testing.T) {
+	s := SideBySide(640, 480)
+	if s.Left.Width != 640 || s.Right.X != 640 {
+		t.Errorf("SideBySide layout wrong: %+v", s)
+	}
+	if s.Combined().Width() != 1280 {
+		t.Errorf("Combined width = %v", s.Combined().Width())
+	}
+	shift := s.EyeShift()
+	if shift != (Vec2{640, 0}) {
+		t.Errorf("EyeShift = %v", shift)
+	}
+}
+
+func TestClipTriangleFullyInside(t *testing.T) {
+	tri := Triangle{Vec2{1, 1}, Vec2{3, 1}, Vec2{1, 3}}
+	r := AABB{Vec2{0, 0}, Vec2{10, 10}}
+	poly := ClipTriangleToRect(tri, r)
+	if !NearlyEqual(PolygonArea(poly), tri.Area(), 1e-9) {
+		t.Errorf("fully-inside clip changed area: %v vs %v", PolygonArea(poly), tri.Area())
+	}
+}
+
+func TestClipTriangleFullyOutside(t *testing.T) {
+	tri := Triangle{Vec2{100, 100}, Vec2{110, 100}, Vec2{100, 110}}
+	r := AABB{Vec2{0, 0}, Vec2{10, 10}}
+	poly := ClipTriangleToRect(tri, r)
+	if PolygonArea(poly) != 0 {
+		t.Errorf("fully-outside clip has area %v", PolygonArea(poly))
+	}
+}
+
+func TestClipTriangleHalf(t *testing.T) {
+	// Right triangle whose right half is cut off by the rect boundary.
+	tri := Triangle{Vec2{0, 0}, Vec2{10, 0}, Vec2{0, 10}}
+	r := AABB{Vec2{0, 0}, Vec2{5, 10}}
+	got := CoverageInRect(tri, r)
+	// Area inside x<5: whole triangle 50 minus the right sub-triangle with
+	// base 5 and height 5 (area 12.5) = 37.5.
+	if !NearlyEqual(got, 37.5, 1e-9) {
+		t.Errorf("half clip coverage = %v", got)
+	}
+}
+
+func TestCoverageSplitAcrossTilesSumsToArea(t *testing.T) {
+	tri := Triangle{Vec2{1, 1}, Vec2{9, 2}, Vec2{4, 8}}
+	full := AABB{Vec2{0, 0}, Vec2{10, 10}}
+	leftHalf := AABB{Vec2{0, 0}, Vec2{5, 10}}
+	rightHalf := AABB{Vec2{5, 0}, Vec2{10, 10}}
+	sum := CoverageInRect(tri, leftHalf) + CoverageInRect(tri, rightHalf)
+	if !NearlyEqual(sum, CoverageInRect(tri, full), 1e-9) {
+		t.Errorf("tile coverage does not sum: %v vs %v", sum, CoverageInRect(tri, full))
+	}
+}
+
+// Property: clipping never increases area, and the clipped area is never
+// negative.
+func TestClipAreaPropertyQuick(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		// Bound the coordinates to keep float error manageable.
+		clampf := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 100)
+		}
+		tri := Triangle{
+			Vec2{clampf(ax), clampf(ay)},
+			Vec2{clampf(bx), clampf(by)},
+			Vec2{clampf(cx), clampf(cy)},
+		}
+		r := AABB{Vec2{-20, -20}, Vec2{20, 20}}
+		cov := CoverageInRect(tri, r)
+		return cov >= -1e-9 && cov <= tri.Area()+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AABB intersection is commutative and contained in both inputs.
+func TestAABBIntersectPropertyQuick(t *testing.T) {
+	f := func(a, b, c, d, e, g, h, i float64) bool {
+		norm := func(lo, hi float64) (float64, float64) {
+			lo, hi = math.Mod(lo, 50), math.Mod(hi, 50)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			return lo, hi
+		}
+		ax, bx := norm(a, b)
+		ay, by := norm(c, d)
+		cx, dx := norm(e, g)
+		cy, dy := norm(h, i)
+		b1 := AABB{Vec2{ax, ay}, Vec2{bx, by}}
+		b2 := AABB{Vec2{cx, cy}, Vec2{dx, dy}}
+		i1 := b1.Intersect(b2)
+		i2 := b2.Intersect(b1)
+		if i1.Empty() != i2.Empty() {
+			return false
+		}
+		if i1.Empty() {
+			return true
+		}
+		return i1 == i2 && i1.Area() <= b1.Area()+1e-9 && i1.Area() <= b2.Area()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolygonAreaDegenerate(t *testing.T) {
+	if PolygonArea(nil) != 0 {
+		t.Errorf("nil polygon has area")
+	}
+	if PolygonArea([]Vec2{{0, 0}, {1, 1}}) != 0 {
+		t.Errorf("2-gon has area")
+	}
+}

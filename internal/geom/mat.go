@@ -1,0 +1,156 @@
+package geom
+
+import "math"
+
+// Mat4 is a 4x4 matrix in row-major order: element (r,c) is M[r*4+c].
+// It models the model-view-projection transforms the geometry stage of the
+// pipeline performs, including the per-eye projection offsets applied by the
+// SMP engine.
+type Mat4 [16]float64
+
+// Identity returns the identity matrix.
+func Identity() Mat4 {
+	return Mat4{
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// Translate returns a translation matrix by (x, y, z).
+func Translate(x, y, z float64) Mat4 {
+	return Mat4{
+		1, 0, 0, x,
+		0, 1, 0, y,
+		0, 0, 1, z,
+		0, 0, 0, 1,
+	}
+}
+
+// ScaleUniform returns a uniform scale matrix.
+func ScaleUniform(s float64) Mat4 { return ScaleXYZ(s, s, s) }
+
+// ScaleXYZ returns a non-uniform scale matrix.
+func ScaleXYZ(x, y, z float64) Mat4 {
+	return Mat4{
+		x, 0, 0, 0,
+		0, y, 0, 0,
+		0, 0, z, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// RotateY returns a rotation about the Y axis by theta radians. Head yaw is
+// the dominant rotation in HMD rendering, so it is the one the synthetic
+// scenes use.
+func RotateY(theta float64) Mat4 {
+	s, c := math.Sin(theta), math.Cos(theta)
+	return Mat4{
+		c, 0, s, 0,
+		0, 1, 0, 0,
+		-s, 0, c, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// Perspective returns a right-handed perspective projection with the given
+// vertical field of view (radians), aspect ratio and near/far planes, mapping
+// depth into [0,1].
+func Perspective(fovY, aspect, near, far float64) Mat4 {
+	f := 1 / math.Tan(fovY/2)
+	nf := 1 / (near - far)
+	return Mat4{
+		f / aspect, 0, 0, 0,
+		0, f, 0, 0,
+		0, 0, far * nf, far * near * nf,
+		0, 0, -1, 0,
+	}
+}
+
+// StereoProjection returns the projection matrix for one eye of a stereo
+// pair. eyeOffset is half the interpupillary distance expressed in view
+// units; the left eye uses a negative offset. The SMP engine models exactly
+// this: the same geometry stream re-projected through a shifted center of
+// projection (Section 3 of the paper: "shifts the viewport of the rendering
+// object by half of W, left or right depending on the eye").
+func StereoProjection(fovY, aspect, near, far, eyeOffset float64) Mat4 {
+	p := Perspective(fovY, aspect, near, far)
+	// Shear X by the eye offset before projecting: equivalent to moving the
+	// projection center along the X axis.
+	shift := Translate(-eyeOffset, 0, 0)
+	return p.Mul(shift)
+}
+
+// Mul returns m * n (applying n first).
+func (m Mat4) Mul(n Mat4) Mat4 {
+	var out Mat4
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			var sum float64
+			for k := 0; k < 4; k++ {
+				sum += m[r*4+k] * n[k*4+c]
+			}
+			out[r*4+c] = sum
+		}
+	}
+	return out
+}
+
+// MulVec applies m to the homogeneous vector v.
+func (m Mat4) MulVec(v Vec4) Vec4 {
+	return Vec4{
+		m[0]*v.X + m[1]*v.Y + m[2]*v.Z + m[3]*v.W,
+		m[4]*v.X + m[5]*v.Y + m[6]*v.Z + m[7]*v.W,
+		m[8]*v.X + m[9]*v.Y + m[10]*v.Z + m[11]*v.W,
+		m[12]*v.X + m[13]*v.Y + m[14]*v.Z + m[15]*v.W,
+	}
+}
+
+// MulPoint applies m to the 3D point p (w=1) and performs the perspective
+// divide.
+func (m Mat4) MulPoint(p Vec3) Vec3 {
+	return m.MulVec(V4(p, 1)).PerspectiveDivide()
+}
+
+// Transpose returns the transpose of m.
+func (m Mat4) Transpose() Mat4 {
+	var out Mat4
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			out[c*4+r] = m[r*4+c]
+		}
+	}
+	return out
+}
+
+// Det returns the determinant of m.
+func (m Mat4) Det() float64 {
+	// Cofactor expansion along the first row using 3x3 minors.
+	minor := func(r, c int) float64 {
+		var sub [9]float64
+		i := 0
+		for rr := 0; rr < 4; rr++ {
+			if rr == r {
+				continue
+			}
+			for cc := 0; cc < 4; cc++ {
+				if cc == c {
+					continue
+				}
+				sub[i] = m[rr*4+cc]
+				i++
+			}
+		}
+		return sub[0]*(sub[4]*sub[8]-sub[5]*sub[7]) -
+			sub[1]*(sub[3]*sub[8]-sub[5]*sub[6]) +
+			sub[2]*(sub[3]*sub[7]-sub[4]*sub[6])
+	}
+	det := 0.0
+	sign := 1.0
+	for c := 0; c < 4; c++ {
+		det += sign * m[c] * minor(0, c)
+		sign = -sign
+	}
+	return det
+}

@@ -1,0 +1,130 @@
+// Package link models the inter-GPM interconnect of the future NUMA-based
+// multi-GPU system: dedicated point-to-point NVLink-style channels between
+// every pair of GPMs (the paper assumes 6 ports per GPM, one port pair per
+// peer, so "the intercommunication between two GPMs will not be interfered
+// by other GPMs" — Section 3).
+//
+// Each direction of each pair is a FIFO bandwidth server (sim.Resource);
+// bandwidth is expressed in GB/s and converted to bytes/cycle using the GPU
+// clock.
+package link
+
+import (
+	"fmt"
+
+	"oovr/internal/mem"
+	"oovr/internal/sim"
+)
+
+// BytesPerCycle converts a GB/s figure to bytes per cycle at the given clock
+// (GHz). 64 GB/s at 1 GHz is 64 bytes/cycle.
+func BytesPerCycle(gbPerSec, clockGHz float64) float64 {
+	return gbPerSec / clockGHz
+}
+
+// Fabric is the full-mesh interconnect between n GPMs.
+type Fabric struct {
+	n     int
+	gbs   float64
+	clock float64
+	// links[src][dst] carries bytes homed on src being delivered to dst.
+	links [][]*sim.Resource
+}
+
+// NewFabric builds a fabric of n GPMs with the given per-direction link
+// bandwidth (GB/s) at the given clock (GHz).
+func NewFabric(n int, gbPerSec, clockGHz float64) *Fabric {
+	if n <= 0 {
+		panic("link: fabric needs at least one GPM")
+	}
+	if gbPerSec <= 0 || clockGHz <= 0 {
+		panic(fmt.Sprintf("link: invalid bandwidth %v GB/s @ %v GHz", gbPerSec, clockGHz))
+	}
+	rate := BytesPerCycle(gbPerSec, clockGHz)
+	links := make([][]*sim.Resource, n)
+	for i := range links {
+		links[i] = make([]*sim.Resource, n)
+		for j := range links[i] {
+			if i == j {
+				continue
+			}
+			links[i][j] = sim.NewResource(fmt.Sprintf("link%d->%d", i, j), rate)
+		}
+	}
+	return &Fabric{n: n, gbs: gbPerSec, clock: clockGHz, links: links}
+}
+
+// NumGPMs returns the GPM count.
+func (f *Fabric) NumGPMs() int { return f.n }
+
+// BandwidthGBs returns the per-direction link bandwidth in GB/s.
+func (f *Fabric) BandwidthGBs() float64 { return f.gbs }
+
+// Link returns the directed link resource src->dst (nil when src == dst).
+func (f *Fabric) Link(src, dst mem.GPMID) *sim.Resource {
+	f.check(src)
+	f.check(dst)
+	return f.links[src][dst]
+}
+
+// ReserveFlow queues the remote portions of a memory flow onto the links
+// that carry them, starting at time at, and returns the time the last byte
+// arrives. Flows with no remote bytes complete immediately at at. When n is
+// 1 (single GPU) there are no links and the result is always at.
+func (f *Fabric) ReserveFlow(at sim.Time, flow mem.Flow) sim.Time {
+	end := at
+	for src, bytes := range flow.RemoteBySrc {
+		if bytes == 0 || mem.GPMID(src) == flow.Requester {
+			continue
+		}
+		t := f.links[src][flow.Requester].Reserve(at, bytes)
+		if t > end {
+			end = t
+		}
+	}
+	return end
+}
+
+// TotalBytes returns the bytes served across all links.
+func (f *Fabric) TotalBytes() float64 {
+	var s float64
+	for i := range f.links {
+		for j := range f.links[i] {
+			if f.links[i][j] != nil {
+				s += f.links[i][j].TotalServed()
+			}
+		}
+	}
+	return s
+}
+
+// MaxBusy returns the largest busy time across all directed links; it bounds
+// how long the fabric alone would need to carry the recorded traffic.
+func (f *Fabric) MaxBusy() sim.Time {
+	var m sim.Time
+	for i := range f.links {
+		for j := range f.links[i] {
+			if f.links[i][j] != nil && f.links[i][j].BusyCycles() > m {
+				m = f.links[i][j].BusyCycles()
+			}
+		}
+	}
+	return m
+}
+
+// Reset clears all link state.
+func (f *Fabric) Reset() {
+	for i := range f.links {
+		for j := range f.links[i] {
+			if f.links[i][j] != nil {
+				f.links[i][j].Reset()
+			}
+		}
+	}
+}
+
+func (f *Fabric) check(g mem.GPMID) {
+	if g < 0 || int(g) >= f.n {
+		panic(fmt.Sprintf("link: GPM %d out of range [0,%d)", g, f.n))
+	}
+}

@@ -1,0 +1,100 @@
+package link
+
+import (
+	"testing"
+
+	"oovr/internal/mem"
+)
+
+func TestBytesPerCycle(t *testing.T) {
+	if got := BytesPerCycle(64, 1); got != 64 {
+		t.Errorf("64GB/s@1GHz = %v bytes/cycle", got)
+	}
+	if got := BytesPerCycle(1024, 1); got != 1024 {
+		t.Errorf("1TB/s@1GHz = %v bytes/cycle", got)
+	}
+	if got := BytesPerCycle(64, 2); got != 32 {
+		t.Errorf("64GB/s@2GHz = %v bytes/cycle", got)
+	}
+}
+
+func TestFabricTopology(t *testing.T) {
+	f := NewFabric(4, 64, 1)
+	if f.NumGPMs() != 4 || f.BandwidthGBs() != 64 {
+		t.Errorf("fabric identity wrong")
+	}
+	if f.Link(0, 0) != nil {
+		t.Errorf("self link should be nil")
+	}
+	if f.Link(0, 1) == nil || f.Link(1, 0) == nil {
+		t.Errorf("pair links missing")
+	}
+	if f.Link(0, 1) == f.Link(1, 0) {
+		t.Errorf("directions must be independent resources")
+	}
+}
+
+func TestReserveFlowUsesCorrectLinks(t *testing.T) {
+	f := NewFabric(4, 64, 1)
+	flow := mem.Flow{
+		Requester:   2,
+		RemoteBySrc: []float64{640, 0, 0, 1280},
+	}
+	end := f.ReserveFlow(0, flow)
+	// 1280 bytes over the 3->2 link at 64 B/cycle = 20 cycles (the slower of
+	// the two parallel transfers).
+	if end != 20 {
+		t.Errorf("end = %v, want 20", end)
+	}
+	if got := f.Link(0, 2).TotalServed(); got != 640 {
+		t.Errorf("link 0->2 served %v", got)
+	}
+	if got := f.Link(3, 2).TotalServed(); got != 1280 {
+		t.Errorf("link 3->2 served %v", got)
+	}
+	if got := f.Link(1, 2).TotalServed(); got != 0 {
+		t.Errorf("link 1->2 served %v", got)
+	}
+	if f.TotalBytes() != 1920 {
+		t.Errorf("TotalBytes = %v", f.TotalBytes())
+	}
+}
+
+func TestReserveFlowEmpty(t *testing.T) {
+	f := NewFabric(2, 64, 1)
+	flow := mem.Flow{Requester: 0, RemoteBySrc: []float64{0, 0}}
+	if end := f.ReserveFlow(42, flow); end != 42 {
+		t.Errorf("empty flow end = %v", end)
+	}
+}
+
+func TestReserveFlowContention(t *testing.T) {
+	f := NewFabric(2, 64, 1)
+	flow := mem.Flow{Requester: 1, RemoteBySrc: []float64{6400, 0}}
+	e1 := f.ReserveFlow(0, flow) // 100 cycles
+	e2 := f.ReserveFlow(0, flow) // queued behind: 200
+	if e1 != 100 || e2 != 200 {
+		t.Errorf("contention ends = %v, %v", e1, e2)
+	}
+	if f.MaxBusy() != 200 {
+		t.Errorf("MaxBusy = %v", f.MaxBusy())
+	}
+}
+
+func TestFabricReset(t *testing.T) {
+	f := NewFabric(2, 64, 1)
+	f.ReserveFlow(0, mem.Flow{Requester: 1, RemoteBySrc: []float64{640, 0}})
+	f.Reset()
+	if f.TotalBytes() != 0 || f.MaxBusy() != 0 {
+		t.Errorf("Reset did not clear fabric")
+	}
+}
+
+func TestSingleGPUFabricPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("zero-GPM fabric did not panic")
+		}
+	}()
+	NewFabric(0, 64, 1)
+}

@@ -1,0 +1,477 @@
+// Package mem models the NUMA memory system of the multi-GPU architecture
+// in the paper (Section 2.3): one DRAM partition per GPM sharing a single
+// address space, page-granular placement with a First-Touch (FT) policy, a
+// remote-access cache, and full accounting of which bytes moved locally and
+// which crossed inter-GPM links.
+//
+// The simulator works at *segment* granularity: a segment is a logically
+// contiguous allocation (a texture, a vertex buffer, a framebuffer
+// partition, a command stream). Segments are divided into pages; each page
+// has a home GPM assigned on first touch or by explicit placement (the
+// OO-VR pre-allocation units use explicit placement, Section 5.2).
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GPMID identifies a GPU module. GPMs are numbered 0..N-1.
+type GPMID int
+
+// Unplaced marks a page that has no home yet.
+const Unplaced GPMID = -1
+
+// SegmentID identifies an allocation in the shared address space.
+type SegmentID int
+
+// SegmentKind classifies allocations; the traffic report breaks totals down
+// by kind so experiments can attribute inter-GPM traffic to textures,
+// composition, commands and depth the way Section 6.2 does.
+type SegmentKind int
+
+const (
+	// KindVertex is application-issued vertex/index data.
+	KindVertex SegmentKind = iota
+	// KindTexture is sampled texture data, the dominant traffic class.
+	KindTexture
+	// KindFramebuffer is color-output storage.
+	KindFramebuffer
+	// KindDepth is the Z/stencil surface.
+	KindDepth
+	// KindCommand is the command/state stream from the driver.
+	KindCommand
+	numKinds
+)
+
+// String returns the kind's short name.
+func (k SegmentKind) String() string {
+	switch k {
+	case KindVertex:
+		return "vertex"
+	case KindTexture:
+		return "texture"
+	case KindFramebuffer:
+		return "framebuffer"
+	case KindDepth:
+		return "depth"
+	case KindCommand:
+		return "command"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Segment is one allocation.
+type Segment struct {
+	ID    SegmentID
+	Kind  SegmentKind
+	Name  string
+	Size  int64
+	pages []GPMID // home of each page
+}
+
+// Pages returns the number of pages in the segment.
+func (s *Segment) Pages() int { return len(s.pages) }
+
+// PageHome returns the home GPM of page i (Unplaced if not yet placed).
+func (s *Segment) PageHome(i int) GPMID { return s.pages[i] }
+
+// Config parameterizes the memory system.
+type Config struct {
+	NumGPMs  int
+	PageSize int64 // bytes per page (the paper's FT policy is page granular)
+	// RemoteCacheHitRate is the fraction of *repeated* remote reads that the
+	// remote cache scheme of Arunkumar et al. [5] satisfies locally. The
+	// paper applies this scheme to its baseline (Section 3) so we do too.
+	RemoteCacheHitRate float64
+}
+
+// DefaultConfig mirrors the paper's baseline memory setup.
+func DefaultConfig(numGPMs int) Config {
+	return Config{
+		NumGPMs:            numGPMs,
+		PageSize:           4096,
+		RemoteCacheHitRate: 0.5,
+	}
+}
+
+// Flow describes where the bytes of one access went. RemoteBySrc[g] is the
+// number of bytes that crossed the link from GPM g's DRAM to the requester.
+type Flow struct {
+	Requester   GPMID
+	LocalBytes  float64
+	RemoteBySrc []float64
+	Kind        SegmentKind
+}
+
+// RemoteTotal returns the total remote bytes of the flow.
+func (f Flow) RemoteTotal() float64 {
+	var t float64
+	for _, b := range f.RemoteBySrc {
+		t += b
+	}
+	return t
+}
+
+// System is the NUMA memory system.
+type System struct {
+	cfg      Config
+	segments []*Segment
+	// touched[gpm] marks segments this GPM has already read once, which is
+	// what arms the remote cache for subsequent reads.
+	touched []map[SegmentID]bool
+	traffic *Traffic
+	dramUse []int64 // bytes homed per GPM (capacity accounting)
+}
+
+// NewSystem creates a memory system for the given configuration.
+func NewSystem(cfg Config) *System {
+	if cfg.NumGPMs <= 0 {
+		panic("mem: NumGPMs must be positive")
+	}
+	if cfg.PageSize <= 0 {
+		panic("mem: PageSize must be positive")
+	}
+	if cfg.RemoteCacheHitRate < 0 || cfg.RemoteCacheHitRate > 1 {
+		panic("mem: RemoteCacheHitRate must be in [0,1]")
+	}
+	touched := make([]map[SegmentID]bool, cfg.NumGPMs)
+	for i := range touched {
+		touched[i] = make(map[SegmentID]bool)
+	}
+	return &System{
+		cfg:     cfg,
+		touched: touched,
+		traffic: NewTraffic(cfg.NumGPMs),
+		dramUse: make([]int64, cfg.NumGPMs),
+	}
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// NumGPMs returns the GPM count.
+func (s *System) NumGPMs() int { return s.cfg.NumGPMs }
+
+// Traffic returns the accumulated traffic accounting.
+func (s *System) Traffic() *Traffic { return s.traffic }
+
+// Alloc creates a new unplaced segment of the given size.
+func (s *System) Alloc(kind SegmentKind, name string, size int64) SegmentID {
+	if size < 0 {
+		panic(fmt.Sprintf("mem: negative size %d for %q", size, name))
+	}
+	nPages := int((size + s.cfg.PageSize - 1) / s.cfg.PageSize)
+	pages := make([]GPMID, nPages)
+	for i := range pages {
+		pages[i] = Unplaced
+	}
+	id := SegmentID(len(s.segments))
+	s.segments = append(s.segments, &Segment{ID: id, Kind: kind, Name: name, Size: size, pages: pages})
+	return id
+}
+
+// Segment returns the segment with the given id.
+func (s *System) Segment(id SegmentID) *Segment {
+	return s.segments[int(id)]
+}
+
+// NumSegments returns how many segments have been allocated.
+func (s *System) NumSegments() int { return len(s.segments) }
+
+// Place assigns every page of the segment to the given GPM, overriding any
+// previous placement. This models both the initial striped placement of the
+// framebuffer and the OO-VR PA units' pre-allocation.
+func (s *System) Place(id SegmentID, gpm GPMID) {
+	s.checkGPM(gpm)
+	seg := s.Segment(id)
+	for i := range seg.pages {
+		s.rehome(seg, i, gpm)
+	}
+}
+
+// PlaceStriped distributes the segment's pages round-robin across all GPMs,
+// the paper's baseline address mapping for shared surfaces.
+func (s *System) PlaceStriped(id SegmentID) {
+	seg := s.Segment(id)
+	for i := range seg.pages {
+		s.rehome(seg, i, GPMID(i%s.cfg.NumGPMs))
+	}
+}
+
+// PlacePartitioned splits the segment into NumGPMs contiguous ranges, one
+// per GPM, the placement the distributed hardware composition unit uses for
+// the framebuffer (Section 5.3, Figure 14).
+func (s *System) PlacePartitioned(id SegmentID) {
+	seg := s.Segment(id)
+	n := len(seg.pages)
+	if n == 0 {
+		return
+	}
+	per := (n + s.cfg.NumGPMs - 1) / s.cfg.NumGPMs
+	for i := range seg.pages {
+		s.rehome(seg, i, GPMID(i/per))
+	}
+}
+
+func (s *System) rehome(seg *Segment, page int, gpm GPMID) {
+	old := seg.pages[page]
+	if old == gpm {
+		return
+	}
+	size := s.pageBytes(seg, page)
+	if old != Unplaced {
+		s.dramUse[old] -= size
+	}
+	s.dramUse[gpm] += size
+	seg.pages[page] = gpm
+}
+
+// pageBytes returns the byte size of the given page (the last page may be
+// partial).
+func (s *System) pageBytes(seg *Segment, page int) int64 {
+	if page < len(seg.pages)-1 {
+		return s.cfg.PageSize
+	}
+	rem := seg.Size - int64(page)*s.cfg.PageSize
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+// DRAMUsed returns the bytes homed on the given GPM.
+func (s *System) DRAMUsed(gpm GPMID) int64 {
+	s.checkGPM(gpm)
+	return s.dramUse[gpm]
+}
+
+// Read models gpm reading n bytes starting at offset within the segment.
+// Unplaced pages are placed on the requester (first touch). The returned
+// Flow says how many bytes were local and how many crossed each link. The
+// remote cache absorbs RemoteCacheHitRate of remote bytes when this GPM has
+// read the segment before.
+func (s *System) Read(gpm GPMID, id SegmentID, offset, n int64) Flow {
+	return s.access(gpm, id, offset, n, true)
+}
+
+// ReadAll reads the entire segment.
+func (s *System) ReadAll(gpm GPMID, id SegmentID) Flow {
+	return s.Read(gpm, id, 0, s.Segment(id).Size)
+}
+
+// Write models gpm writing n bytes starting at offset. Writes place
+// unplaced pages on the requester and are never absorbed by the remote
+// cache (it is a read cache).
+func (s *System) Write(gpm GPMID, id SegmentID, offset, n int64) Flow {
+	return s.access(gpm, id, offset, n, false)
+}
+
+// WriteAll writes the entire segment.
+func (s *System) WriteAll(gpm GPMID, id SegmentID) Flow {
+	return s.Write(gpm, id, 0, s.Segment(id).Size)
+}
+
+func (s *System) access(gpm GPMID, id SegmentID, offset, n int64, isRead bool) Flow {
+	s.checkGPM(gpm)
+	seg := s.Segment(id)
+	if offset < 0 || n < 0 || offset+n > seg.Size {
+		panic(fmt.Sprintf("mem: access [%d,%d) outside segment %q of size %d", offset, offset+n, seg.Name, seg.Size))
+	}
+	flow := Flow{Requester: gpm, RemoteBySrc: make([]float64, s.cfg.NumGPMs), Kind: seg.Kind}
+	if n == 0 {
+		return flow
+	}
+	warm := s.touched[gpm][id]
+	first := int(offset / s.cfg.PageSize)
+	last := int((offset + n - 1) / s.cfg.PageSize)
+	for p := first; p <= last; p++ {
+		// Bytes of this access that land on page p.
+		pStart := int64(p) * s.cfg.PageSize
+		pEnd := pStart + s.pageBytes(seg, p)
+		aStart, aEnd := offset, offset+n
+		if pStart > aStart {
+			aStart = pStart
+		}
+		if pEnd < aEnd {
+			aEnd = pEnd
+		}
+		bytes := float64(aEnd - aStart)
+		home := seg.pages[p]
+		if home == Unplaced {
+			// First touch: the requester becomes the home.
+			s.rehome(seg, p, gpm)
+			home = gpm
+		}
+		if home == gpm {
+			flow.LocalBytes += bytes
+			continue
+		}
+		remote := bytes
+		if isRead && warm {
+			hit := remote * s.cfg.RemoteCacheHitRate
+			flow.LocalBytes += hit // served from the local remote-cache copy
+			remote -= hit
+		}
+		flow.RemoteBySrc[home] += remote
+	}
+	if isRead {
+		s.touched[gpm][id] = true
+	}
+	s.traffic.Record(flow)
+	return flow
+}
+
+// ReadProportional models link-level traffic of `bytes` bytes of reads
+// spread across the whole segment, bypassing the remote cache: the request
+// volume is distributed over the segment's page homes proportionally to the
+// bytes homed there. This is how the single-programming-model baseline's
+// shared striped L2 behaves — every texture sample travels to the L2 slice
+// that owns the address, hit or miss, so the link traffic is proportional
+// to the sample volume, not to the DRAM miss volume. The volume may exceed
+// the segment size (the same texels are fetched again and again).
+func (s *System) ReadProportional(gpm GPMID, id SegmentID, bytes float64) Flow {
+	s.checkGPM(gpm)
+	if bytes < 0 {
+		panic(fmt.Sprintf("mem: negative proportional read %v", bytes))
+	}
+	seg := s.Segment(id)
+	flow := Flow{Requester: gpm, RemoteBySrc: make([]float64, s.cfg.NumGPMs), Kind: seg.Kind}
+	if bytes == 0 || seg.Size == 0 {
+		s.traffic.Record(flow)
+		return flow
+	}
+	// Place any unplaced pages on the requester first (FT), then split the
+	// volume by home byte shares.
+	var homed [16]int64 // stack space for the common small-N case
+	homes := homed[:0]
+	if s.cfg.NumGPMs > len(homed) {
+		homes = make([]int64, s.cfg.NumGPMs)
+	} else {
+		homes = homed[:s.cfg.NumGPMs]
+		for i := range homes {
+			homes[i] = 0
+		}
+	}
+	for p := range seg.pages {
+		if seg.pages[p] == Unplaced {
+			s.rehome(seg, p, gpm)
+		}
+		homes[seg.pages[p]] += s.pageBytes(seg, p)
+	}
+	for h, b := range homes {
+		if b == 0 {
+			continue
+		}
+		share := bytes * float64(b) / float64(seg.Size)
+		if GPMID(h) == gpm {
+			flow.LocalBytes += share
+		} else {
+			flow.RemoteBySrc[h] += share
+		}
+	}
+	s.traffic.Record(flow)
+	return flow
+}
+
+// Stream models a bulk copy-out of the whole segment by the given GPM: the
+// transfer engine reads every byte from the page homes without the benefit
+// of the remote cache (bulk streams blow through it) and without arming it.
+// Unplaced pages are first-touch placed on the reader. The segment's homes
+// are not changed — the caller owns whatever local copy it made.
+func (s *System) Stream(gpm GPMID, id SegmentID) Flow {
+	s.checkGPM(gpm)
+	seg := s.Segment(id)
+	flow := Flow{Requester: gpm, RemoteBySrc: make([]float64, s.cfg.NumGPMs), Kind: seg.Kind}
+	for p := range seg.pages {
+		bytes := float64(s.pageBytes(seg, p))
+		home := seg.pages[p]
+		if home == Unplaced {
+			s.rehome(seg, p, gpm)
+			home = gpm
+		}
+		if home == gpm {
+			flow.LocalBytes += bytes
+		} else {
+			flow.RemoteBySrc[home] += bytes
+		}
+	}
+	s.traffic.Record(flow)
+	return flow
+}
+
+// Duplicate models copying the whole segment into the given GPM's DRAM (the
+// AFR scheme's separate memory spaces, and OO-VR's straggler data
+// duplication). The copy itself moves bytes over the links from each page's
+// current home; afterwards the pages are homed on dst.
+func (s *System) Duplicate(id SegmentID, dst GPMID) Flow {
+	s.checkGPM(dst)
+	seg := s.Segment(id)
+	flow := Flow{Requester: dst, RemoteBySrc: make([]float64, s.cfg.NumGPMs), Kind: seg.Kind}
+	for p := range seg.pages {
+		bytes := float64(s.pageBytes(seg, p))
+		home := seg.pages[p]
+		if home == Unplaced || home == dst {
+			flow.LocalBytes += bytes
+		} else {
+			flow.RemoteBySrc[home] += bytes
+		}
+		s.rehome(seg, p, dst)
+	}
+	s.touched[dst][id] = true
+	s.traffic.Record(flow)
+	return flow
+}
+
+// ResetWarmth clears every GPM's touched sets: caches do not survive a
+// frame boundary (the per-GPM L2 is far smaller than a frame's streaming
+// working set), so schedulers call this at frame start and every texture is
+// re-streamed cold each frame — the steady-state behaviour of a real GPU.
+func (s *System) ResetWarmth() {
+	for g := range s.touched {
+		s.touched[g] = make(map[SegmentID]bool)
+	}
+}
+
+// Touched reports whether the GPM has read the segment before (remote cache
+// warm).
+func (s *System) Touched(gpm GPMID, id SegmentID) bool {
+	s.checkGPM(gpm)
+	return s.touched[gpm][id]
+}
+
+// HomeHistogram returns, for the given segment, how many bytes are homed on
+// each GPM (index NumGPMs holds unplaced bytes).
+func (s *System) HomeHistogram(id SegmentID) []int64 {
+	seg := s.Segment(id)
+	hist := make([]int64, s.cfg.NumGPMs+1)
+	for p := range seg.pages {
+		home := seg.pages[p]
+		idx := int(home)
+		if home == Unplaced {
+			idx = s.cfg.NumGPMs
+		}
+		hist[idx] += s.pageBytes(seg, p)
+	}
+	return hist
+}
+
+// SegmentsByKind returns the ids of all segments with the given kind, in
+// allocation order.
+func (s *System) SegmentsByKind(kind SegmentKind) []SegmentID {
+	var out []SegmentID
+	for _, seg := range s.segments {
+		if seg.Kind == kind {
+			out = append(out, seg.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (s *System) checkGPM(g GPMID) {
+	if g < 0 || int(g) >= s.cfg.NumGPMs {
+		panic(fmt.Sprintf("mem: GPM %d out of range [0,%d)", g, s.cfg.NumGPMs))
+	}
+}

@@ -1,0 +1,333 @@
+package mem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func newSys(t *testing.T) *System {
+	t.Helper()
+	return NewSystem(Config{NumGPMs: 4, PageSize: 4096, RemoteCacheHitRate: 0.5})
+}
+
+func TestAllocPages(t *testing.T) {
+	s := newSys(t)
+	id := s.Alloc(KindTexture, "tex", 4096*3+1)
+	seg := s.Segment(id)
+	if seg.Pages() != 4 {
+		t.Errorf("Pages = %d, want 4", seg.Pages())
+	}
+	for i := 0; i < seg.Pages(); i++ {
+		if seg.PageHome(i) != Unplaced {
+			t.Errorf("page %d placed at alloc time", i)
+		}
+	}
+	if s.NumSegments() != 1 {
+		t.Errorf("NumSegments = %d", s.NumSegments())
+	}
+}
+
+func TestFirstTouchPlacesOnRequester(t *testing.T) {
+	s := newSys(t)
+	id := s.Alloc(KindTexture, "tex", 8192)
+	f := s.Read(2, id, 0, 8192)
+	if f.LocalBytes != 8192 {
+		t.Errorf("first touch should be all local, got local=%v remote=%v", f.LocalBytes, f.RemoteTotal())
+	}
+	seg := s.Segment(id)
+	for i := 0; i < seg.Pages(); i++ {
+		if seg.PageHome(i) != 2 {
+			t.Errorf("page %d home = %d, want 2", i, seg.PageHome(i))
+		}
+	}
+	if s.DRAMUsed(2) != 8192 {
+		t.Errorf("DRAMUsed(2) = %d", s.DRAMUsed(2))
+	}
+}
+
+func TestRemoteReadCrossesLink(t *testing.T) {
+	s := newSys(t)
+	id := s.Alloc(KindTexture, "tex", 4096)
+	s.Read(0, id, 0, 4096) // homed on 0
+	f := s.Read(1, id, 0, 4096)
+	if f.LocalBytes != 0 {
+		t.Errorf("cold remote read should have no local bytes, got %v", f.LocalBytes)
+	}
+	if f.RemoteBySrc[0] != 4096 {
+		t.Errorf("remote from 0 = %v", f.RemoteBySrc[0])
+	}
+	if got := s.Traffic().LinkBytes(0, 1); got != 4096 {
+		t.Errorf("link 0->1 = %v", got)
+	}
+}
+
+func TestRemoteCacheAbsorbsRepeatedReads(t *testing.T) {
+	s := newSys(t)
+	id := s.Alloc(KindTexture, "tex", 4096)
+	s.Read(0, id, 0, 4096)
+	s.Read(1, id, 0, 4096) // cold remote: arms cache
+	f := s.Read(1, id, 0, 4096)
+	if f.RemoteBySrc[0] != 2048 {
+		t.Errorf("warm remote read should be halved by the cache, got %v", f.RemoteBySrc[0])
+	}
+	if f.LocalBytes != 2048 {
+		t.Errorf("cache hits should count as local, got %v", f.LocalBytes)
+	}
+}
+
+func TestWritesNotCached(t *testing.T) {
+	s := newSys(t)
+	id := s.Alloc(KindFramebuffer, "fb", 4096)
+	s.Place(id, 0)
+	s.Write(1, id, 0, 4096)
+	f := s.Write(1, id, 0, 4096)
+	if f.RemoteBySrc[0] != 4096 {
+		t.Errorf("repeated remote writes must not hit the read cache, got %v", f.RemoteBySrc[0])
+	}
+}
+
+func TestPlaceExplicit(t *testing.T) {
+	s := newSys(t)
+	id := s.Alloc(KindTexture, "tex", 16384)
+	s.Place(id, 3)
+	f := s.Read(3, id, 0, 16384)
+	if f.RemoteTotal() != 0 {
+		t.Errorf("read from home should be local, remote=%v", f.RemoteTotal())
+	}
+	if s.DRAMUsed(3) != 16384 {
+		t.Errorf("DRAMUsed(3) = %d", s.DRAMUsed(3))
+	}
+}
+
+func TestPlaceStriped(t *testing.T) {
+	s := newSys(t)
+	id := s.Alloc(KindFramebuffer, "fb", 4096*8)
+	s.PlaceStriped(id)
+	hist := s.HomeHistogram(id)
+	for g := 0; g < 4; g++ {
+		if hist[g] != 4096*2 {
+			t.Errorf("GPM %d homed %d bytes, want %d", g, hist[g], 4096*2)
+		}
+	}
+	if hist[4] != 0 {
+		t.Errorf("unplaced bytes remain: %d", hist[4])
+	}
+}
+
+func TestPlacePartitioned(t *testing.T) {
+	s := newSys(t)
+	id := s.Alloc(KindFramebuffer, "fb", 4096*8)
+	s.PlacePartitioned(id)
+	seg := s.Segment(id)
+	// First two pages on GPM0, next two on GPM1, etc.
+	want := []GPMID{0, 0, 1, 1, 2, 2, 3, 3}
+	for i, w := range want {
+		if seg.PageHome(i) != w {
+			t.Errorf("page %d home = %d, want %d", i, seg.PageHome(i), w)
+		}
+	}
+}
+
+func TestPartialLastPageAccounting(t *testing.T) {
+	s := newSys(t)
+	id := s.Alloc(KindVertex, "vb", 4096+100)
+	s.Place(id, 0)
+	if s.DRAMUsed(0) != 4196 {
+		t.Errorf("DRAMUsed = %d, want 4196 (partial page counted by bytes)", s.DRAMUsed(0))
+	}
+	f := s.Read(0, id, 0, 4196)
+	if f.LocalBytes != 4196 {
+		t.Errorf("LocalBytes = %v", f.LocalBytes)
+	}
+}
+
+func TestAccessRangeSplitAcrossPages(t *testing.T) {
+	s := newSys(t)
+	id := s.Alloc(KindTexture, "tex", 4096*2)
+	s.Place(id, 0)
+	// Read 1000 bytes straddling the page boundary from a remote GPM.
+	f := s.Read(1, id, 4096-500, 1000)
+	if f.RemoteBySrc[0] != 1000 {
+		t.Errorf("straddling read remote bytes = %v", f.RemoteBySrc[0])
+	}
+}
+
+func TestAccessOutOfRangePanics(t *testing.T) {
+	s := newSys(t)
+	id := s.Alloc(KindTexture, "tex", 100)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("out-of-range access did not panic")
+		}
+	}()
+	s.Read(0, id, 50, 100)
+}
+
+func TestDuplicateMovesHomeAndCountsLinkBytes(t *testing.T) {
+	s := newSys(t)
+	id := s.Alloc(KindTexture, "tex", 8192)
+	s.Place(id, 0)
+	f := s.Duplicate(id, 2)
+	if f.RemoteBySrc[0] != 8192 {
+		t.Errorf("duplicate should stream the whole segment: %v", f.RemoteBySrc[0])
+	}
+	// After duplication the segment is local to GPM 2.
+	f2 := s.Read(2, id, 0, 8192)
+	if f2.RemoteTotal() != 0 {
+		t.Errorf("post-duplicate read should be local, remote=%v", f2.RemoteTotal())
+	}
+	if s.DRAMUsed(0) != 0 || s.DRAMUsed(2) != 8192 {
+		t.Errorf("home accounting wrong: used0=%d used2=%d", s.DRAMUsed(0), s.DRAMUsed(2))
+	}
+}
+
+func TestTrafficByKind(t *testing.T) {
+	s := newSys(t)
+	tex := s.Alloc(KindTexture, "tex", 4096)
+	fb := s.Alloc(KindFramebuffer, "fb", 4096)
+	s.Place(tex, 0)
+	s.Place(fb, 0)
+	s.Read(1, tex, 0, 4096)
+	s.Write(1, fb, 0, 4096)
+	tr := s.Traffic()
+	if tr.RemoteByKind(KindTexture) != 4096 {
+		t.Errorf("texture remote = %v", tr.RemoteByKind(KindTexture))
+	}
+	if tr.RemoteByKind(KindFramebuffer) != 4096 {
+		t.Errorf("fb remote = %v", tr.RemoteByKind(KindFramebuffer))
+	}
+	if tr.TotalInterGPM() != 8192 {
+		t.Errorf("total inter-GPM = %v", tr.TotalInterGPM())
+	}
+}
+
+func TestTrafficAdd(t *testing.T) {
+	a := NewTraffic(2)
+	b := NewTraffic(2)
+	a.Record(Flow{Requester: 0, LocalBytes: 10, RemoteBySrc: []float64{0, 5}, Kind: KindTexture})
+	b.Record(Flow{Requester: 1, LocalBytes: 20, RemoteBySrc: []float64{7, 0}, Kind: KindTexture})
+	a.Add(b)
+	if a.TotalLocal() != 30 {
+		t.Errorf("TotalLocal = %v", a.TotalLocal())
+	}
+	if a.TotalInterGPM() != 12 {
+		t.Errorf("TotalInterGPM = %v", a.TotalInterGPM())
+	}
+	if a.LinkBytes(1, 0) != 5 || a.LinkBytes(0, 1) != 7 {
+		t.Errorf("link bytes wrong")
+	}
+}
+
+func TestTrafficAddMismatchedPanics(t *testing.T) {
+	a := NewTraffic(2)
+	b := NewTraffic(3)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("mismatched Add did not panic")
+		}
+	}()
+	a.Add(b)
+}
+
+func TestMaxLinkBytes(t *testing.T) {
+	tr := NewTraffic(3)
+	tr.Record(Flow{Requester: 0, RemoteBySrc: []float64{0, 100, 30}, Kind: KindTexture})
+	tr.Record(Flow{Requester: 2, RemoteBySrc: []float64{40, 0, 0}, Kind: KindTexture})
+	if got := tr.MaxLinkBytes(); got != 100 {
+		t.Errorf("MaxLinkBytes = %v", got)
+	}
+}
+
+func TestSegmentsByKind(t *testing.T) {
+	s := newSys(t)
+	s.Alloc(KindVertex, "vb", 10)
+	t1 := s.Alloc(KindTexture, "t1", 10)
+	s.Alloc(KindFramebuffer, "fb", 10)
+	t2 := s.Alloc(KindTexture, "t2", 10)
+	got := s.SegmentsByKind(KindTexture)
+	if len(got) != 2 || got[0] != t1 || got[1] != t2 {
+		t.Errorf("SegmentsByKind = %v", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[SegmentKind]string{
+		KindVertex: "vertex", KindTexture: "texture", KindFramebuffer: "framebuffer",
+		KindDepth: "depth", KindCommand: "command",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+// Property: for any access pattern, conservation holds — every byte read is
+// either local or remote, and link traffic equals the sum of remote flows.
+func TestConservationPropertyQuick(t *testing.T) {
+	f := func(ops []struct {
+		G    uint8
+		Seg  uint8
+		Off  uint16
+		Len  uint16
+		Read bool
+	}) bool {
+		s := NewSystem(Config{NumGPMs: 4, PageSize: 512, RemoteCacheHitRate: 0.25})
+		const segSize = 8192
+		ids := make([]SegmentID, 4)
+		for i := range ids {
+			ids[i] = s.Alloc(KindTexture, "t", segSize)
+		}
+		var wantTotal float64
+		var gotLocal, gotRemote float64
+		for _, op := range ops {
+			g := GPMID(op.G % 4)
+			id := ids[op.Seg%4]
+			off := int64(op.Off) % segSize
+			n := int64(op.Len) % (segSize - off)
+			var fl Flow
+			if op.Read {
+				fl = s.Read(g, id, off, n)
+			} else {
+				fl = s.Write(g, id, off, n)
+			}
+			wantTotal += float64(n)
+			gotLocal += fl.LocalBytes
+			gotRemote += fl.RemoteTotal()
+		}
+		if math.Abs(gotLocal+gotRemote-wantTotal) > 1e-6 {
+			return false
+		}
+		return math.Abs(s.Traffic().TotalInterGPM()-gotRemote) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DRAM usage totals always equal the placed bytes, never negative.
+func TestDRAMAccountingPropertyQuick(t *testing.T) {
+	f := func(moves []uint8) bool {
+		s := NewSystem(Config{NumGPMs: 4, PageSize: 256, RemoteCacheHitRate: 0})
+		id := s.Alloc(KindTexture, "t", 256*7+13)
+		for _, m := range moves {
+			s.Place(id, GPMID(m%4))
+		}
+		var total int64
+		for g := GPMID(0); g < 4; g++ {
+			u := s.DRAMUsed(g)
+			if u < 0 {
+				return false
+			}
+			total += u
+		}
+		if len(moves) == 0 {
+			return total == 0
+		}
+		return total == 256*7+13
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,124 @@
+package mem
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Traffic accumulates the byte flows of a simulation run. It distinguishes
+// local DRAM traffic from inter-GPM traffic, attributes inter-GPM bytes to
+// (source, destination) link pairs, and breaks totals down by segment kind;
+// Figure 9 and Figure 16 of the paper are plots of these counters.
+type Traffic struct {
+	n          int
+	local      []float64   // per GPM
+	link       [][]float64 // [src][dst] bytes crossing the src->dst link
+	kindLocal  []float64   // per SegmentKind
+	kindRemote []float64   // per SegmentKind
+}
+
+// NewTraffic creates an empty traffic account for n GPMs.
+func NewTraffic(n int) *Traffic {
+	link := make([][]float64, n)
+	for i := range link {
+		link[i] = make([]float64, n)
+	}
+	return &Traffic{
+		n:          n,
+		local:      make([]float64, n),
+		link:       link,
+		kindLocal:  make([]float64, numKinds),
+		kindRemote: make([]float64, numKinds),
+	}
+}
+
+// Record adds a flow to the account.
+func (t *Traffic) Record(f Flow) {
+	t.local[f.Requester] += f.LocalBytes
+	t.kindLocal[f.Kind] += f.LocalBytes
+	for src, b := range f.RemoteBySrc {
+		if b == 0 {
+			continue
+		}
+		t.link[src][f.Requester] += b
+		t.kindRemote[f.Kind] += b
+	}
+}
+
+// LocalBytes returns the total local DRAM bytes moved by the given GPM.
+func (t *Traffic) LocalBytes(g GPMID) float64 { return t.local[g] }
+
+// TotalLocal returns local DRAM bytes summed over all GPMs.
+func (t *Traffic) TotalLocal() float64 {
+	var s float64
+	for _, v := range t.local {
+		s += v
+	}
+	return s
+}
+
+// LinkBytes returns the bytes that crossed the src->dst link.
+func (t *Traffic) LinkBytes(src, dst GPMID) float64 { return t.link[src][dst] }
+
+// TotalInterGPM returns the total bytes that crossed any inter-GPM link —
+// the paper's headline "inter-GPM memory traffic" metric.
+func (t *Traffic) TotalInterGPM() float64 {
+	var s float64
+	for i := range t.link {
+		for j := range t.link[i] {
+			s += t.link[i][j]
+		}
+	}
+	return s
+}
+
+// RemoteByKind returns the inter-GPM bytes attributed to the given kind.
+func (t *Traffic) RemoteByKind(k SegmentKind) float64 { return t.kindRemote[k] }
+
+// LocalByKind returns the local bytes attributed to the given kind.
+func (t *Traffic) LocalByKind(k SegmentKind) float64 { return t.kindLocal[k] }
+
+// MaxLinkBytes returns the most loaded directed link's byte count.
+func (t *Traffic) MaxLinkBytes() float64 {
+	var m float64
+	for i := range t.link {
+		for j := range t.link[i] {
+			if t.link[i][j] > m {
+				m = t.link[i][j]
+			}
+		}
+	}
+	return m
+}
+
+// Add accumulates another traffic account (for multi-frame totals). The two
+// accounts must have the same GPM count.
+func (t *Traffic) Add(o *Traffic) {
+	if t.n != o.n {
+		panic(fmt.Sprintf("mem: traffic GPM counts differ: %d vs %d", t.n, o.n))
+	}
+	for i := range t.local {
+		t.local[i] += o.local[i]
+	}
+	for i := range t.link {
+		for j := range t.link[i] {
+			t.link[i][j] += o.link[i][j]
+		}
+	}
+	for k := range t.kindLocal {
+		t.kindLocal[k] += o.kindLocal[k]
+		t.kindRemote[k] += o.kindRemote[k]
+	}
+}
+
+// String renders a compact human-readable summary.
+func (t *Traffic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "local=%.3g inter-GPM=%.3g", t.TotalLocal(), t.TotalInterGPM())
+	for k := SegmentKind(0); k < numKinds; k++ {
+		if t.kindRemote[k] > 0 {
+			fmt.Fprintf(&b, " remote[%s]=%.3g", k, t.kindRemote[k])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,570 @@
+// Package multigpu assembles the full NUMA-based multi-GPU system of the
+// paper's Figure 3: N GPMs (each with local DRAM behind a bandwidth-limited
+// memory controller), a full-mesh NVLink fabric, and the shared NUMA address
+// space with first-touch placement.
+//
+// The package is the execution substrate for all rendering schedulers: a
+// scheduler binds a scene, then submits Tasks (sets of object shares) to
+// GPMs and composition passes to ROPs; the system resolves every byte of
+// traffic through the memory system and fabric and keeps per-GPM timing.
+package multigpu
+
+import (
+	"fmt"
+
+	"oovr/internal/gpu"
+	"oovr/internal/link"
+	"oovr/internal/mem"
+	"oovr/internal/pipeline"
+	"oovr/internal/scene"
+	"oovr/internal/sim"
+)
+
+// Options configure a System beyond the hardware Config.
+type Options struct {
+	// Config is the hardware configuration (Table 2 defaults).
+	Config gpu.Config
+	// Cache is the texture cache filter model.
+	Cache gpu.CacheModel
+	// OverlapFactor is how much of a task's compute time can hide memory
+	// latency (thousands of threads in flight — Section 6.2). 0 means no
+	// overlap (fully serial), 1 means memory is free until it exceeds the
+	// compute time.
+	OverlapFactor float64
+	// IssueCyclesPerDraw is the serial front-end cost per draw command.
+	IssueCyclesPerDraw float64
+	// PageSize for the NUMA placement.
+	PageSize int64
+	// RemoteCacheHitRate for repeated remote reads (the [5] remote cache the
+	// baseline employs, Section 3).
+	RemoteCacheHitRate float64
+	// ShipOverfetch scales the texture working set a sort-first framework
+	// ships to a tile renderer: the framework cannot predict which texels a
+	// strip will sample, so it over-distributes conservatively.
+	ShipOverfetch float64
+}
+
+// DefaultOptions returns the calibrated defaults used by every experiment.
+func DefaultOptions() Options {
+	return Options{
+		Config:             gpu.Table2Config(),
+		Cache:              gpu.DefaultCacheModel(),
+		OverlapFactor:      0.7,
+		IssueCyclesPerDraw: 60,
+		PageSize:           4096,
+		RemoteCacheHitRate: 0.5,
+		ShipOverfetch:      2.8,
+	}
+}
+
+// ColorTarget selects where a task's color output lands.
+type ColorTarget int
+
+const (
+	// ColorStriped writes to the shared framebuffer whose pages are striped
+	// across all GPMs — the baseline's single-GPU-image address mapping.
+	ColorStriped ColorTarget = iota
+	// ColorLocalStage writes to a per-GPM staging buffer in local DRAM; a
+	// later composition pass moves pixels to the final framebuffer
+	// (object-level SFR and OO-VR render this way).
+	ColorLocalStage
+	// ColorPartitionOwned writes directly into the GPM's own partition of
+	// the framebuffer (tile-level SFR, where tile = partition).
+	ColorPartitionOwned
+)
+
+// TaskPart is one object's share inside a task.
+type TaskPart struct {
+	Object   *scene.Object
+	Mode     pipeline.Mode
+	GeomFrac float64
+	FragFrac float64
+}
+
+// Task is one schedulable unit on a GPM.
+type Task struct {
+	// Parts are the object shares rendered by this task, in order.
+	Parts []TaskPart
+	// ShipTextures makes the framework copy each referenced texture (and
+	// vertex buffer) into the GPM's DRAM before rendering, the sort-last /
+	// sort-first data distribution of the software frameworks. Without it,
+	// the task demand-fetches through the NUMA space.
+	ShipTextures bool
+	// ShipPersistent keeps shipped copies resident across frames. Sort-last
+	// (object-level) distribution is screen-independent, so an object's data
+	// stays useful on its GPM frame after frame; sort-first (tile-level)
+	// mappings move with the camera, so tile renderers must re-ship every
+	// frame. Ignored unless ShipTextures is set.
+	ShipPersistent bool
+	// MigrateData makes the PA (pre-allocation) units move the task's
+	// texture and vertex pages into this GPM's DRAM before rendering
+	// (OO-VR, Section 5.2). Unlike ShipTextures this re-homes the pages —
+	// the NUMA space keeps one copy — so a batch that lands on the same GPM
+	// next frame pays nothing.
+	MigrateData bool
+	// ShipExact ships exactly the working set the task will sample (the
+	// OO-VR programming model knows each batch's textures and views), with
+	// no sort-first overfetch. Implies nothing unless ShipTextures is set.
+	ShipExact bool
+	// Prefetch overlaps the shipping with earlier work instead of blocking
+	// the task start (OO-VR's PA units pre-allocate while the previous
+	// batch renders, Section 5.2).
+	Prefetch bool
+	// UseLocalCopies reads textures/vertices from this GPM's private copy
+	// (AFR's separate memory spaces) instead of the shared pool.
+	UseLocalCopies bool
+	// SharedL2 models the single-programming-model baseline: all GPMs form
+	// one logical GPU whose L2 slices are address-interleaved, so every
+	// texture sample travels to the slice owning the address — hit or miss,
+	// link traffic is proportional to sample volume and the per-GPM caches
+	// provide no NUMA filtering.
+	SharedL2 bool
+	// Color selects the color output path.
+	Color ColorTarget
+	// DepthLocal confines Z traffic to the GPM's own partition (AFR and
+	// tile-level SFR); otherwise the Z surface is striped across GPMs.
+	DepthLocal bool
+}
+
+// GPMState tracks one GPM's timeline.
+type GPMState struct {
+	NextFree sim.Time
+	Busy     sim.Time
+	Tasks    int
+	// StagedPixels accumulates pixels written to the local staging buffer
+	// since the last composition.
+	StagedPixels float64
+}
+
+// System is a bound (hardware, scene) pair ready to execute tasks.
+type System struct {
+	opt    Options
+	rates  gpu.Rates
+	nGPM   int
+	Mem    *mem.System
+	Fabric *link.Fabric // nil when nGPM == 1
+	dram   []*sim.Resource
+	rop    []*sim.Resource
+	gpms   []GPMState
+
+	sc       *scene.Scene
+	texSeg   []mem.SegmentID // shared pool, by TextureID
+	vbSeg    []mem.SegmentID // by object index (meshes are shared across frames)
+	fbSeg    mem.SegmentID
+	depthSeg mem.SegmentID
+	cmdSeg   mem.SegmentID
+	stageSeg []mem.SegmentID // per GPM color staging
+
+	// Private copies for AFR's segmented memory, allocated lazily.
+	texCopy [][]mem.SegmentID // [gpm][texture]
+	vbCopy  [][]mem.SegmentID // [gpm][object]
+
+	// shipped tracks which segments have been transferred to each GPM in the
+	// current frame (sort-first frameworks re-distribute per frame).
+	shipped []map[mem.SegmentID]bool
+	// claimed maps a segment to the GPM whose PA unit migrated it this
+	// frame; a shared texture migrates at most once per frame so that
+	// batches on other GPMs do not ping-pong it (they demand-fetch).
+	claimed map[mem.SegmentID]mem.GPMID
+	// resident maps an original segment to the GPM's local shipped copy;
+	// copies persist across frames (capacity stays allocated) and, for
+	// persistent shipping, so does their content.
+	resident []map[mem.SegmentID]mem.SegmentID
+
+	frameLatency []sim.Time
+	frameStart   sim.Time
+}
+
+// New binds a system to a scene. The framebuffer and depth surfaces are
+// allocated for the side-by-side stereo target and striped by default; the
+// command stream lives on GPM0 where the driver writes it.
+func New(opt Options, sc *scene.Scene) *System {
+	opt.Config.Validate()
+	opt.Cache.Validate()
+	if opt.OverlapFactor < 0 || opt.OverlapFactor > 1 {
+		panic(fmt.Sprintf("multigpu: OverlapFactor %v out of [0,1]", opt.OverlapFactor))
+	}
+	if opt.ShipOverfetch == 0 {
+		opt.ShipOverfetch = 1
+	}
+	n := opt.Config.NumGPMs
+	s := &System{
+		opt:   opt,
+		rates: opt.Config.GPMRates(),
+		nGPM:  n,
+		Mem: mem.NewSystem(mem.Config{
+			NumGPMs:            n,
+			PageSize:           opt.PageSize,
+			RemoteCacheHitRate: opt.RemoteCacheHitRate,
+		}),
+		gpms:     make([]GPMState, n),
+		sc:       sc,
+		shipped:  make([]map[mem.SegmentID]bool, n),
+		claimed:  make(map[mem.SegmentID]mem.GPMID),
+		resident: make([]map[mem.SegmentID]mem.SegmentID, n),
+		texCopy:  make([][]mem.SegmentID, n),
+		vbCopy:   make([][]mem.SegmentID, n),
+	}
+	if n > 1 {
+		s.Fabric = link.NewFabric(n, opt.Config.InterGPMLinkGBs, opt.Config.ClockGHz)
+	}
+	dramRate := opt.Config.DRAMBytesPerCycle()
+	for g := 0; g < n; g++ {
+		s.dram = append(s.dram, sim.NewResource(fmt.Sprintf("dram%d", g), dramRate))
+		s.rop = append(s.rop, sim.NewResource(fmt.Sprintf("rop%d", g), s.rates.PixelsPerCycle))
+		s.shipped[g] = make(map[mem.SegmentID]bool)
+		s.resident[g] = make(map[mem.SegmentID]mem.SegmentID)
+	}
+
+	// Shared allocations. Texture contents and vertex buffers are
+	// pre-allocated in GPU memory before rendering (Section 2.2), so their
+	// pages start striped across the NUMA partitions; locality-aware
+	// schemes re-place them explicitly.
+	for _, t := range sc.Textures {
+		id := s.Mem.Alloc(mem.KindTexture, t.Name, t.Bytes)
+		s.Mem.PlaceStriped(id)
+		s.texSeg = append(s.texSeg, id)
+	}
+	maxObjs := 0
+	for fi := range sc.Frames {
+		if len(sc.Frames[fi].Objects) > maxObjs {
+			maxObjs = len(sc.Frames[fi].Objects)
+		}
+	}
+	for i := 0; i < maxObjs; i++ {
+		var size int64
+		for fi := range sc.Frames {
+			objs := sc.Frames[fi].Objects
+			if i < len(objs) && objs[i].VertexBytes() > size {
+				size = objs[i].VertexBytes()
+			}
+		}
+		vb := s.Mem.Alloc(mem.KindVertex, fmt.Sprintf("vb%04d", i), size)
+		s.Mem.PlaceStriped(vb)
+		s.vbSeg = append(s.vbSeg, vb)
+	}
+	fbBytes := int64(2 * sc.PixelsPerView() * scene.BytesPerPixel)
+	s.fbSeg = s.Mem.Alloc(mem.KindFramebuffer, "framebuffer", fbBytes)
+	s.Mem.PlaceStriped(s.fbSeg)
+	depthBytes := int64(2 * sc.PixelsPerView() * 4)
+	s.depthSeg = s.Mem.Alloc(mem.KindDepth, "depth", depthBytes)
+	s.Mem.PlaceStriped(s.depthSeg)
+	var maxDraws int64
+	for fi := range sc.Frames {
+		if d := int64(len(sc.Frames[fi].Objects)); d > maxDraws {
+			maxDraws = d
+		}
+	}
+	s.cmdSeg = s.Mem.Alloc(mem.KindCommand, "commands", 2*maxDraws*pipeline.CommandBytesPerDraw)
+	s.Mem.Place(s.cmdSeg, 0)
+	for g := 0; g < n; g++ {
+		st := s.Mem.Alloc(mem.KindFramebuffer, fmt.Sprintf("stage%d", g), fbBytes)
+		s.Mem.Place(st, mem.GPMID(g))
+		s.stageSeg = append(s.stageSeg, st)
+	}
+	return s
+}
+
+// Options returns the system's options.
+func (s *System) Options() Options { return s.opt }
+
+// NumGPMs returns the GPM count.
+func (s *System) NumGPMs() int { return s.nGPM }
+
+// Rates returns the per-GPM stage rates.
+func (s *System) Rates() gpu.Rates { return s.rates }
+
+// Scene returns the bound scene.
+func (s *System) Scene() *scene.Scene { return s.sc }
+
+// GPM returns the state of GPM g.
+func (s *System) GPM(g int) GPMState { return s.gpms[g] }
+
+// PartitionFramebuffer re-places the framebuffer and depth surfaces into N
+// contiguous per-GPM partitions (tile-level SFR and the OO-VR distributed
+// hardware composition both arrange the final target this way).
+func (s *System) PartitionFramebuffer() {
+	s.Mem.PlacePartitioned(s.fbSeg)
+	s.Mem.PlacePartitioned(s.depthSeg)
+}
+
+// PlaceFramebufferAt homes the whole framebuffer on one GPM (the
+// conventional object-level SFR maps the FB in the master node's DRAM).
+func (s *System) PlaceFramebufferAt(g mem.GPMID) {
+	s.Mem.Place(s.fbSeg, g)
+}
+
+// EnsureLocalCopies allocates (once) private texture and vertex copies on
+// the GPM, modelling AFR's pre-allocated per-GPM memory spaces. The copy is
+// made at application load time, so it costs capacity but no link time.
+func (s *System) EnsureLocalCopies(g mem.GPMID) {
+	gi := int(g)
+	if s.texCopy[gi] != nil {
+		return
+	}
+	for _, t := range s.sc.Textures {
+		id := s.Mem.Alloc(mem.KindTexture, fmt.Sprintf("tex%d@gpm%d", t.ID, g), t.Bytes)
+		s.Mem.Place(id, g)
+		s.texCopy[gi] = append(s.texCopy[gi], id)
+	}
+	for i, vb := range s.vbSeg {
+		size := s.Mem.Segment(vb).Size
+		id := s.Mem.Alloc(mem.KindVertex, fmt.Sprintf("vb%04d@gpm%d", i, g), size)
+		s.Mem.Place(id, g)
+		s.vbCopy[gi] = append(s.vbCopy[gi], id)
+	}
+}
+
+func (s *System) textureSegment(g mem.GPMID, task *Task, id scene.TextureID) mem.SegmentID {
+	if task.UseLocalCopies {
+		return s.texCopy[g][id]
+	}
+	return s.texSeg[id]
+}
+
+func (s *System) vertexSegment(g mem.GPMID, task *Task, obj int) mem.SegmentID {
+	if task.UseLocalCopies {
+		return s.vbCopy[g][obj]
+	}
+	return s.vbSeg[obj]
+}
+
+// reserveFlow books a flow's bytes on the requester DRAM and on the links
+// that carry the remote portions, all starting at t, and returns the
+// completion time of the slowest stream.
+func (s *System) reserveFlow(t sim.Time, f mem.Flow) sim.Time {
+	end := s.dram[f.Requester].Reserve(t, f.LocalBytes)
+	if s.Fabric != nil {
+		if le := s.Fabric.ReserveFlow(t, f); le > end {
+			end = le
+		}
+	}
+	return end
+}
+
+// Run executes a task on GPM g and returns its completion time. The task
+// starts when the GPM is free (plus blocking ship time), computes for the
+// pipelined stage cost, and stalls for whatever memory time the in-flight
+// threads cannot hide.
+func (s *System) Run(g mem.GPMID, task Task) sim.Time {
+	gi := int(g)
+	start := s.gpms[gi].NextFree
+
+	// Software data distribution (shipping) if requested: the framework
+	// copies each referenced segment into this GPM's DRAM, after which the
+	// task's reads are local.
+	shipMap := map[mem.SegmentID]mem.SegmentID{}
+	if task.ShipTextures {
+		// The framework ships each object's texture *working set* — what
+		// the object's fragments will sample, bounded by the texture size —
+		// plus its vertex buffer. Two parts sharing a texture ship the
+		// larger working set once.
+		budget := map[mem.SegmentID]float64{}
+		for _, p := range task.Parts {
+			// The framework distributes per *view region*: a strip covering
+			// both views ships (most of) both views' working sets even when
+			// SMP merges their shading — SMP saves compute, not data
+			// distribution.
+			views := 1.0
+			if p.Mode != pipeline.ModeSingleView {
+				views = 1.7
+			}
+			overfetch := s.opt.ShipOverfetch
+			if task.ShipExact {
+				// The OO middleware ships exactly what the batch samples,
+				// including the SMP inter-view overlap.
+				views = pipeline.ObjectMemVolumes(p.Object, p.Mode, 1, 1).FragsForTexture / p.Object.FragsPerView
+				overfetch = 1
+			}
+			for _, tid := range p.Object.Textures {
+				orig := s.textureSegment(g, &task, tid)
+				want := views * p.Object.FragsPerView * s.opt.Cache.SampleBytesPerFragment * overfetch
+				if want > budget[orig] {
+					budget[orig] = want
+				}
+			}
+			vb := s.vertexSegment(g, &task, p.Object.Index)
+			budget[vb] = float64(s.Mem.Segment(vb).Size)
+		}
+		shipEnd := start
+		for orig, b := range budget {
+			shipMap[orig] = s.ship(g, orig, b, task.ShipPersistent, start, &shipEnd)
+		}
+		if !task.Prefetch {
+			start = shipEnd
+		}
+	}
+	if task.MigrateData {
+		migEnd := start
+		migrate := func(seg mem.SegmentID) {
+			if s.shipped[gi][seg] {
+				return
+			}
+			s.shipped[gi][seg] = true
+			if owner, ok := s.claimed[seg]; ok && owner != g {
+				return // another GPM's batch owns it this frame
+			}
+			s.claimed[seg] = g
+			if s.fullyHomedAt(seg, g) {
+				return // already local: pre-allocation is free
+			}
+			flow := s.Mem.Duplicate(seg, g)
+			if e := s.reserveFlow(start, flow); e > migEnd {
+				migEnd = e
+			}
+		}
+		for _, p := range task.Parts {
+			for _, tid := range p.Object.Textures {
+				migrate(s.textureSegment(g, &task, tid))
+			}
+			migrate(s.vertexSegment(g, &task, p.Object.Index))
+		}
+		if !task.Prefetch {
+			start = migEnd
+		}
+	}
+	resolve := func(orig mem.SegmentID) mem.SegmentID {
+		if cp, ok := shipMap[orig]; ok {
+			return cp
+		}
+		return orig
+	}
+
+	// Aggregate compute work and issue memory flows.
+	var work pipeline.Work
+	memEnd := start
+	account := func(f mem.Flow) {
+		if e := s.reserveFlow(start, f); e > memEnd {
+			memEnd = e
+		}
+	}
+	for _, p := range task.Parts {
+		work = work.Add(pipeline.ObjectWork(p.Object, p.Mode, p.GeomFrac, p.FragFrac))
+		mv := pipeline.ObjectMemVolumes(p.Object, p.Mode, p.GeomFrac, p.FragFrac)
+
+		// Vertex fetch.
+		vb := resolve(s.vertexSegment(g, &task, p.Object.Index))
+		account(s.Mem.Read(g, vb, 0, clampLen(mv.VertexBytes, s.Mem.Segment(vb).Size)))
+
+		// Texture fetch: each bound texture is sampled by the part's
+		// fragments.
+		for _, tid := range p.Object.Textures {
+			seg := resolve(s.textureSegment(g, &task, tid))
+			size := s.Mem.Segment(seg).Size
+			if task.SharedL2 {
+				// Striped shared L2: sample volume itself crosses the
+				// fabric, no local-cache filtering.
+				account(s.Mem.ReadProportional(g, seg, mv.FragsForTexture*s.opt.Cache.SampleBytesPerFragment))
+				continue
+			}
+			// Independent renderer: the GPM's own caches filter; only
+			// DRAM-level misses move, bounded by the texture size.
+			warm := s.Mem.Touched(g, seg)
+			bytes := s.opt.Cache.TextureFetchBytes(size, mv.FragsForTexture, warm)
+			account(s.Mem.Read(g, seg, 0, clampLen(bytes, size)))
+		}
+
+		// Depth read-modify-write.
+		dseg := s.depthSeg
+		dsize := s.Mem.Segment(dseg).Size
+		dlen := clampLen(mv.DepthBytes/2, dsize)
+		if task.DepthLocal {
+			off, ln := s.partitionRange(dsize, gi, dlen)
+			account(s.Mem.Read(g, dseg, off, ln))
+			account(s.Mem.Write(g, dseg, off, ln))
+		} else {
+			account(s.Mem.Read(g, dseg, 0, dlen))
+			account(s.Mem.Write(g, dseg, 0, dlen))
+		}
+
+		// Color output.
+		switch task.Color {
+		case ColorStriped:
+			account(s.Mem.Write(g, s.fbSeg, 0, clampLen(mv.ColorBytes, s.Mem.Segment(s.fbSeg).Size)))
+		case ColorLocalStage:
+			st := s.stageSeg[gi]
+			account(s.Mem.Write(g, st, 0, clampLen(mv.ColorBytes, s.Mem.Segment(st).Size)))
+			s.gpms[gi].StagedPixels += mv.ColorBytes / scene.BytesPerPixel
+		case ColorPartitionOwned:
+			fsize := s.Mem.Segment(s.fbSeg).Size
+			off, ln := s.partitionRange(fsize, gi, clampLen(mv.ColorBytes, fsize))
+			account(s.Mem.Write(g, s.fbSeg, off, ln))
+		default:
+			panic(fmt.Sprintf("multigpu: unknown color target %d", task.Color))
+		}
+
+		// Command stream from the driver's staging on GPM0.
+		account(s.Mem.Read(g, s.cmdSeg, 0, clampLen(mv.CommandBytes, s.Mem.Segment(s.cmdSeg).Size)))
+	}
+
+	compute := pipeline.Cycles(work, s.rates, s.opt.IssueCyclesPerDraw)
+	memTime := float64(memEnd - start)
+	stall := memTime - s.opt.OverlapFactor*compute
+	if stall < 0 {
+		stall = 0
+	}
+	end := start + sim.Time(compute+stall)
+	s.gpms[gi].Busy += end - start
+	s.gpms[gi].NextFree = end
+	s.gpms[gi].Tasks++
+	return end
+}
+
+// ship ensures GPM g holds a local copy of orig and returns the copy's
+// segment id. The bulk transfer is booked at time at and extends *end; it is
+// skipped when the copy is already valid (persistent residency from an
+// earlier frame, or an earlier ship in this frame).
+func (s *System) ship(g mem.GPMID, orig mem.SegmentID, budget float64, persistent bool, at sim.Time, end *sim.Time) mem.SegmentID {
+	gi := int(g)
+	cp, exists := s.resident[gi][orig]
+	if !exists {
+		seg := s.Mem.Segment(orig)
+		cp = s.Mem.Alloc(seg.Kind, fmt.Sprintf("%s@gpm%d", seg.Name, gi), seg.Size)
+		s.Mem.Place(cp, g)
+		s.resident[gi][orig] = cp
+	}
+	if persistent && exists {
+		return cp // content still valid from a previous frame
+	}
+	if s.shipped[gi][orig] {
+		return cp // already transferred this frame
+	}
+	s.shipped[gi][orig] = true
+	size := float64(s.Mem.Segment(orig).Size)
+	if budget > size {
+		budget = size
+	}
+	flow := s.Mem.ReadProportional(g, orig, budget)
+	if e := s.reserveFlow(at, flow); e > *end {
+		*end = e
+	}
+	return cp
+}
+
+// fullyHomedAt reports whether every byte of the segment lives on g.
+func (s *System) fullyHomedAt(seg mem.SegmentID, g mem.GPMID) bool {
+	hist := s.Mem.HomeHistogram(seg)
+	return hist[g] == s.Mem.Segment(seg).Size
+}
+
+// partitionRange clamps an access of length ln into GPM g's 1/N contiguous
+// share of a segment of the given size.
+func (s *System) partitionRange(size int64, g int, ln int64) (off, n int64) {
+	per := size / int64(s.nGPM)
+	off = int64(g) * per
+	if ln > per {
+		ln = per
+	}
+	return off, ln
+}
+
+func clampLen(want float64, size int64) int64 {
+	n := int64(want)
+	if n > size {
+		n = size
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}

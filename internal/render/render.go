@@ -1,0 +1,335 @@
+// Package render implements the parallel rendering schemes the paper
+// characterizes in Section 4 on the NUMA-based multi-GPU substrate:
+//
+//   - Baseline: the single programming model where the whole system acts as
+//     one large GPU (Section 2.3);
+//   - AFR: alternate frame rendering, one frame per GPM (Section 4.1);
+//   - TileV / TileH: tile-level split frame rendering with vertical and
+//     horizontal screen strips (Section 4.2);
+//   - ObjectSFR: object-level (sort-last) split frame rendering with
+//     round-robin distribution and master-node composition (Section 4.3).
+//
+// The OO-VR framework itself lives in internal/core; it plugs into the same
+// Scheduler interface.
+package render
+
+import (
+	"oovr/internal/geom"
+	"oovr/internal/mem"
+	"oovr/internal/multigpu"
+	"oovr/internal/pipeline"
+	"oovr/internal/scene"
+	"oovr/internal/sim"
+)
+
+// Scheduler renders a bound scene on a multi-GPU system and reports
+// metrics. Implementations must render every frame of the scene.
+type Scheduler interface {
+	// Name is the scheme's figure label.
+	Name() string
+	// Render executes the whole scene and returns collected metrics.
+	Render(sys *multigpu.System) multigpu.Metrics
+}
+
+// Baseline is the single-programming-model scheme of Section 2.3 and
+// Figure 3: the rendering tasks for the left and right views are distributed
+// to different GPM groups (the LT/RT/LB/RB quadrants), each view is broken
+// into pieces across its group's GPMs, and the shared striped L2 carries
+// every texture sample. Because the two views land on different GPMs, the
+// SMP engines cannot merge them — the data redundancy between eyes is
+// rendered (and fetched) twice, which is the waste OO-VR removes.
+type Baseline struct{}
+
+// Name implements Scheduler.
+func (Baseline) Name() string { return "Baseline" }
+
+// Render implements Scheduler.
+func (Baseline) Render(sys *multigpu.System) multigpu.Metrics {
+	sc := sys.Scene()
+	n := sys.NumGPMs()
+	for fi := range sc.Frames {
+		sys.BeginFrame()
+		f := &sc.Frames[fi]
+		if n == 1 {
+			// A single GPU keeps both views on the same PMEs, so SMP works.
+			task := multigpu.Task{Color: multigpu.ColorStriped, SharedL2: true}
+			for oi := range f.Objects {
+				task.Parts = append(task.Parts, multigpu.TaskPart{
+					Object: &f.Objects[oi], Mode: pipeline.ModeBothSMP, GeomFrac: 1, FragFrac: 1,
+				})
+			}
+			sys.Run(0, task)
+			sys.EndFrame()
+			continue
+		}
+		// Figure 3's quadrants: half the GPMs render the left view, half
+		// the right, and within a view's group each GPM owns a horizontal
+		// band of the screen (LT/LB/RT/RB for four GPMs). Geometry spreads
+		// evenly; fragments follow the screen content, so bottom-heavy
+		// scenes load-imbalance the bands.
+		leftGPMs := n / 2
+		rightGPMs := n - leftGPMs
+		view := sc.Stereo().Left.Bounds()
+		for g := 0; g < n; g++ {
+			group, idx := leftGPMs, g
+			if g >= leftGPMs {
+				group, idx = rightGPMs, g-leftGPMs
+			}
+			band := stripRect(view, idx, group, false)
+			geomFrac := 1 / float64(group)
+			task := multigpu.Task{Color: multigpu.ColorStriped, SharedL2: true}
+			for oi := range f.Objects {
+				o := &f.Objects[oi]
+				if o.FragsPerView <= 0 {
+					continue
+				}
+				fragFrac := o.FragsInRect(band) / o.FragsPerView
+				task.Parts = append(task.Parts, multigpu.TaskPart{
+					Object:   o,
+					Mode:     pipeline.ModeSingleView,
+					GeomFrac: geomFrac,
+					FragFrac: fragFrac,
+				})
+			}
+			sys.Run(mem.GPMID(g), task)
+		}
+		sys.EndFrame()
+	}
+	return sys.Collect(Baseline{}.Name())
+}
+
+// AFR is alternate frame rendering: frame i renders entirely on GPM i mod N
+// from a private, pre-allocated copy of all data (separate memory spaces),
+// overlapping frames across GPMs. The driver's serial per-frame command
+// preparation limits how fast frames can be issued.
+type AFR struct {
+	// DriverCyclesPerDraw is the serial driver cost to record one draw of a
+	// frame's command stream before the frame can start.
+	DriverCyclesPerDraw float64
+	// DriverCyclesPerKFrag is the serial driver cost per thousand fragments
+	// of frame complexity (per-frame data upload and validation).
+	DriverCyclesPerKFrag float64
+}
+
+// DefaultAFR returns the calibrated AFR configuration.
+func DefaultAFR() AFR { return AFR{DriverCyclesPerDraw: 40, DriverCyclesPerKFrag: 20} }
+
+// Name implements Scheduler.
+func (AFR) Name() string { return "Frame-Level" }
+
+// Render implements Scheduler.
+func (a AFR) Render(sys *multigpu.System) multigpu.Metrics {
+	sc := sys.Scene()
+	n := sys.NumGPMs()
+	sys.PartitionFramebuffer() // per-GPM local Z/FB accounting
+	for g := 0; g < n && g < len(sc.Frames); g++ {
+		sys.EnsureLocalCopies(mem.GPMID(g))
+	}
+	var driverFree float64
+	for fi := range sc.Frames {
+		f := &sc.Frames[fi]
+		g := mem.GPMID(fi % n)
+		// The driver records this frame's commands serially before issue.
+		driverFree += float64(len(f.Objects))*a.DriverCyclesPerDraw +
+			2*f.FragsPerView()/1000*a.DriverCyclesPerKFrag
+		sys.AdvanceGPMTo(g, sim.Time(driverFree))
+		start := sys.GPM(int(g)).NextFree
+		task := multigpu.Task{
+			UseLocalCopies: true,
+			Color:          multigpu.ColorLocalStage,
+			DepthLocal:     true,
+		}
+		for oi := range f.Objects {
+			task.Parts = append(task.Parts, multigpu.TaskPart{
+				Object:   &f.Objects[oi],
+				Mode:     pipeline.ModeBothSMP,
+				GeomFrac: 1,
+				FragFrac: 1,
+			})
+		}
+		end := sys.Run(g, task)
+		sys.RecordFrameLatency(end - start)
+	}
+	sys.DiscardStagedPixels() // each frame's FB is local to its GPM
+	return sys.Collect(AFR{}.Name())
+}
+
+// TileV is tile-level SFR with vertical strips across the combined stereo
+// target. Vertical stripping places the left and right views on different
+// GPMs, so SMP cannot be used: each view renders as an independent
+// single-view pass, and every GPM overlapping an object processes the full
+// mesh (sort-first geometry duplication).
+// Every strip demand-fetches whatever its objects touch each frame, so an
+// object's private data is re-streamed by every strip it overlaps.
+type TileV struct{}
+
+// Name implements Scheduler.
+func (TileV) Name() string { return "Tile-Level (V)" }
+
+// Render implements Scheduler.
+func (TileV) Render(sys *multigpu.System) multigpu.Metrics {
+	renderTiles(sys, true)
+	return sys.Collect(TileV{}.Name())
+}
+
+// TileH is tile-level SFR with horizontal strips. Each strip spans both
+// views, so the SMP engine re-projects left-view work into the right view;
+// large objects still straddle strips and duplicate their geometry and data
+// across GPMs.
+type TileH struct{}
+
+// Name implements Scheduler.
+func (TileH) Name() string { return "Tile-Level (H)" }
+
+// Render implements Scheduler.
+func (TileH) Render(sys *multigpu.System) multigpu.Metrics {
+	renderTiles(sys, false)
+	return sys.Collect(TileH{}.Name())
+}
+
+// renderTiles runs both tile schemes; vertical selects the strip axis.
+func renderTiles(sys *multigpu.System, vertical bool) {
+	sc := sys.Scene()
+	n := sys.NumGPMs()
+	stereo := sc.Stereo()
+	shift := stereo.EyeShift()
+	combined := stereo.Combined()
+	for fi := range sc.Frames {
+		sys.BeginFrame()
+		f := &sc.Frames[fi]
+		sys.PartitionFramebuffer()
+		tasks := make([]multigpu.Task, n)
+		for g := range tasks {
+			tasks[g] = multigpu.Task{
+				// Sort-first distribution: the framework pushes each
+				// object's data to every strip renderer that needs it, and
+				// the strip-to-object mapping changes with the camera, so
+				// the shipping repeats every frame.
+				ShipTextures: true,
+				Prefetch:     true,
+				Color:        multigpu.ColorPartitionOwned,
+				DepthLocal:   true,
+			}
+		}
+		for oi := range f.Objects {
+			o := &f.Objects[oi]
+			leftB := o.Bounds
+			rightB := o.Bounds.Translate(shift)
+			for g := 0; g < n; g++ {
+				tile := stripRect(combined, g, n, vertical)
+				if vertical {
+					// Single-view passes: each tile sees at most one view's
+					// share of the object.
+					addTilePart(&tasks[g], o, pipeline.ModeSingleView, leftB, tile)
+					addTilePart(&tasks[g], o, pipeline.ModeSingleView, rightB, tile)
+				} else {
+					// Horizontal strips span both views: one SMP pass whose
+					// per-view fragment share is the strip's coverage of the
+					// left bounds (the right view covers the same rows).
+					area := leftB.Area()
+					if area <= 0 {
+						continue
+					}
+					inter := leftB.Intersect(tile)
+					if inter.Empty() {
+						continue
+					}
+					frac := inter.Area() / area
+					tasks[g].Parts = append(tasks[g].Parts, multigpu.TaskPart{
+						Object: o, Mode: pipeline.ModeBothSMP, GeomFrac: 1, FragFrac: frac,
+					})
+				}
+			}
+		}
+		for g := 0; g < n; g++ {
+			if len(tasks[g].Parts) > 0 {
+				sys.Run(mem.GPMID(g), tasks[g])
+			}
+		}
+		sys.EndFrame()
+	}
+}
+
+// addTilePart appends a single-view part covering bounds∩tile, if any.
+func addTilePart(task *multigpu.Task, o *scene.Object, mode pipeline.Mode, bounds, tile geom.AABB) {
+	area := bounds.Area()
+	if area <= 0 {
+		return
+	}
+	inter := bounds.Intersect(tile)
+	if inter.Empty() {
+		return
+	}
+	task.Parts = append(task.Parts, multigpu.TaskPart{
+		Object: o, Mode: mode, GeomFrac: 1, FragFrac: inter.Area() / area,
+	})
+}
+
+// stripRect returns strip g of n over the combined target, vertical or
+// horizontal.
+func stripRect(combined geom.AABB, g, n int, vertical bool) geom.AABB {
+	if vertical {
+		w := combined.Width() / float64(n)
+		return geom.AABB{
+			Min: geom.Vec2{X: combined.Min.X + float64(g)*w, Y: combined.Min.Y},
+			Max: geom.Vec2{X: combined.Min.X + float64(g+1)*w, Y: combined.Max.Y},
+		}
+	}
+	h := combined.Height() / float64(n)
+	return geom.AABB{
+		Min: geom.Vec2{X: combined.Min.X, Y: combined.Min.Y + float64(g)*h},
+		Max: geom.Vec2{X: combined.Max.X, Y: combined.Min.Y + float64(g+1)*h},
+	}
+}
+
+// ObjectSFR is the conventional object-level (sort-last) SFR of Section
+// 4.3: the left and right views of every object are independent rendering
+// tasks issued round-robin across GPMs, each object's data is placed in its
+// renderer's local DRAM, and a master node (GPM0) composites every worker's
+// output with its own ROPs.
+type ObjectSFR struct {
+	// Root is the master node that distributes work and composites.
+	Root mem.GPMID
+}
+
+// Name implements Scheduler.
+func (ObjectSFR) Name() string { return "Object-Level" }
+
+// Render implements Scheduler.
+func (s ObjectSFR) Render(sys *multigpu.System) multigpu.Metrics {
+	sc := sys.Scene()
+	n := sys.NumGPMs()
+	sys.PlaceFramebufferAt(s.Root)
+	for fi := range sc.Frames {
+		sys.BeginFrame()
+		f := &sc.Frames[fi]
+		// Left and right views are separate object streams ("it still
+		// executes the objects from the left and right views separately").
+		task := 0
+		for view := 0; view < 2; view++ {
+			for oi := range f.Objects {
+				g := mem.GPMID(task % n)
+				task++
+				sys.Run(g, multigpu.Task{
+					Parts: []multigpu.TaskPart{{
+						Object: &f.Objects[oi], Mode: pipeline.ModeSingleView,
+						GeomFrac: 1, FragFrac: 1,
+					}},
+					// Sort-last distribution: the master re-issues each
+					// frame's object stream, re-distributing object data
+					// with it (the framework has no cross-frame reuse
+					// model — exactly the locality OO-VR's programming
+					// model later captures). Distribution is pipelined
+					// ahead of rendering.
+					ShipTextures: true,
+					ShipExact:    true,
+					Prefetch:     true,
+					Color:        multigpu.ColorLocalStage,
+				})
+			}
+		}
+		sys.ComposeToRoot(s.Root)
+		sys.EndFrame()
+	}
+	return sys.Collect(s.Name())
+}

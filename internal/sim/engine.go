@@ -1,0 +1,110 @@
+// Package sim provides the discrete-event simulation substrate for the
+// OO-VR multi-GPU model: a simulated clock with an event heap, and FIFO
+// bandwidth resources that model DRAM channels, inter-GPM links and other
+// rate-limited servers.
+//
+// Time is measured in GPU cycles (the paper's baseline clocks GPMs at 1 GHz,
+// so one cycle is one nanosecond). Fractional cycles are permitted because
+// bandwidth reservations rarely end on cycle boundaries at transaction
+// granularity.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in simulated time, in GPU cycles.
+type Time float64
+
+// Infinity is a time later than any event the simulator schedules.
+const Infinity = Time(math.MaxFloat64)
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break so equal-time events run in schedule order
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// ready to use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	ran    uint64
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// EventsRun returns the number of events executed so far.
+func (e *Engine) EventsRun() uint64 { return e.ran }
+
+// Pending returns the number of events waiting to run.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn at the given absolute time. Scheduling in the past (before
+// Now) panics: it would silently reorder causality.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After runs fn delay cycles from now.
+func (e *Engine) After(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.Schedule(e.now+delay, fn)
+}
+
+// Run executes events until the queue is empty and returns the final time.
+func (e *Engine) Run() Time {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		e.ran++
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil executes events with time <= limit; later events remain queued.
+func (e *Engine) RunUntil(limit Time) Time {
+	for len(e.events) > 0 && e.events[0].at <= limit {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		e.ran++
+		ev.fn()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+	return e.now
+}

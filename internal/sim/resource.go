@@ -1,0 +1,92 @@
+package sim
+
+import "fmt"
+
+// Resource is a FIFO bandwidth server: a DRAM channel, one direction of an
+// inter-GPM link, a ROP array, or any other component that serves work at a
+// fixed rate. Reservations queue in arrival order; a reservation of amount A
+// on a resource with rate R occupies the server for A/R cycles.
+//
+// Resource deliberately has no notion of preemption or fair sharing between
+// requesters: the paper models NVLinks as dedicated point-to-point channels
+// and DRAM as a bandwidth-limited pipe, for which FIFO occupancy is the
+// right first-order model.
+type Resource struct {
+	name     string
+	rate     float64 // units per cycle (e.g. bytes/cycle)
+	nextFree Time
+	busy     Time    // total occupied cycles
+	total    float64 // total units served
+	count    uint64  // number of reservations
+}
+
+// NewResource creates a resource serving rate units per cycle. Rate must be
+// positive.
+func NewResource(name string, rate float64) *Resource {
+	if rate <= 0 {
+		panic(fmt.Sprintf("sim: resource %q rate %v must be positive", name, rate))
+	}
+	return &Resource{name: name, rate: rate}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Rate returns the service rate in units per cycle.
+func (r *Resource) Rate() float64 { return r.rate }
+
+// Reserve queues a request of the given amount arriving at time at, and
+// returns the time the transfer completes. Zero amounts complete immediately
+// at max(at, queue head) without occupying the server.
+func (r *Resource) Reserve(at Time, amount float64) Time {
+	if amount < 0 {
+		panic(fmt.Sprintf("sim: resource %q negative amount %v", r.name, amount))
+	}
+	start := at
+	if r.nextFree > start {
+		start = r.nextFree
+	}
+	if amount == 0 {
+		return start
+	}
+	dur := Time(amount / r.rate)
+	end := start + dur
+	r.nextFree = end
+	r.busy += dur
+	r.total += amount
+	r.count++
+	return end
+}
+
+// NextFree returns the earliest time a new reservation could begin service.
+func (r *Resource) NextFree() Time { return r.nextFree }
+
+// BusyCycles returns the total cycles the server has been occupied.
+func (r *Resource) BusyCycles() Time { return r.busy }
+
+// TotalServed returns the total units served.
+func (r *Resource) TotalServed() float64 { return r.total }
+
+// Reservations returns how many non-zero reservations were made.
+func (r *Resource) Reservations() uint64 { return r.count }
+
+// Utilization returns busy/horizon, the fraction of the given horizon the
+// server was occupied. Horizon must be positive.
+func (r *Resource) Utilization(horizon Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	u := float64(r.busy) / float64(horizon)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Reset clears all state, keeping name and rate.
+func (r *Resource) Reset() {
+	r.nextFree = 0
+	r.busy = 0
+	r.total = 0
+	r.count = 0
+}

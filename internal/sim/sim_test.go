@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsInTimeOrder(t *testing.T) {
+	var e Engine
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Errorf("end = %v", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if e.EventsRun() != 3 {
+		t.Errorf("EventsRun = %d", e.EventsRun())
+	}
+}
+
+func TestEngineEqualTimesRunInScheduleOrder(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break order violated: %v", order)
+		}
+	}
+}
+
+func TestEngineEventsCanScheduleEvents(t *testing.T) {
+	var e Engine
+	var hits []Time
+	e.Schedule(1, func() {
+		hits = append(hits, e.Now())
+		e.After(4, func() { hits = append(hits, e.Now()) })
+	})
+	end := e.Run()
+	if end != 5 {
+		t.Errorf("end = %v", end)
+	}
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 5 {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	var e Engine
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Errorf("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	var e Engine
+	var ran int
+	e.Schedule(10, func() { ran++ })
+	e.Schedule(20, func() { ran++ })
+	e.Schedule(30, func() { ran++ })
+	e.RunUntil(20)
+	if ran != 2 {
+		t.Errorf("ran = %d, want 2", ran)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	if e.Now() != 20 {
+		t.Errorf("Now = %v", e.Now())
+	}
+	e.Run()
+	if ran != 3 {
+		t.Errorf("ran = %d after Run", ran)
+	}
+}
+
+func TestEngineRunUntilAdvancesIdleClock(t *testing.T) {
+	var e Engine
+	e.RunUntil(100)
+	if e.Now() != 100 {
+		t.Errorf("idle RunUntil should advance clock, Now = %v", e.Now())
+	}
+}
+
+func TestResourceBasicReservation(t *testing.T) {
+	r := NewResource("dram", 100) // 100 bytes/cycle
+	end := r.Reserve(0, 1000)
+	if end != 10 {
+		t.Errorf("end = %v, want 10", end)
+	}
+	if r.TotalServed() != 1000 {
+		t.Errorf("TotalServed = %v", r.TotalServed())
+	}
+	if r.BusyCycles() != 10 {
+		t.Errorf("BusyCycles = %v", r.BusyCycles())
+	}
+}
+
+func TestResourceFIFOQueueing(t *testing.T) {
+	r := NewResource("link", 10)
+	e1 := r.Reserve(0, 100) // occupies [0,10)
+	e2 := r.Reserve(0, 50)  // queued: [10,15)
+	e3 := r.Reserve(20, 10) // idle gap then [20,21)
+	if e1 != 10 || e2 != 15 || e3 != 21 {
+		t.Errorf("ends = %v %v %v", e1, e2, e3)
+	}
+	if r.Reservations() != 3 {
+		t.Errorf("Reservations = %d", r.Reservations())
+	}
+}
+
+func TestResourceZeroAmount(t *testing.T) {
+	r := NewResource("x", 5)
+	r.Reserve(0, 100) // busy until 20
+	end := r.Reserve(0, 0)
+	if end != 20 {
+		t.Errorf("zero-amount reservation should complete at queue head: %v", end)
+	}
+	if r.Reservations() != 1 {
+		t.Errorf("zero-amount should not count as a reservation")
+	}
+}
+
+func TestResourceNegativePanics(t *testing.T) {
+	r := NewResource("x", 1)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("negative amount did not panic")
+		}
+	}()
+	r.Reserve(0, -5)
+}
+
+func TestNewResourceInvalidRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("zero rate did not panic")
+		}
+	}()
+	NewResource("bad", 0)
+}
+
+func TestResourceUtilization(t *testing.T) {
+	r := NewResource("x", 10)
+	r.Reserve(0, 100) // busy 10 cycles
+	if u := r.Utilization(20); u != 0.5 {
+		t.Errorf("Utilization = %v", u)
+	}
+	if u := r.Utilization(5); u != 1 {
+		t.Errorf("Utilization should clamp to 1, got %v", u)
+	}
+	if u := r.Utilization(0); u != 0 {
+		t.Errorf("zero horizon Utilization = %v", u)
+	}
+}
+
+func TestResourceReset(t *testing.T) {
+	r := NewResource("x", 10)
+	r.Reserve(0, 100)
+	r.Reset()
+	if r.NextFree() != 0 || r.TotalServed() != 0 || r.BusyCycles() != 0 || r.Reservations() != 0 {
+		t.Errorf("Reset did not clear state: %+v", r)
+	}
+	if r.Rate() != 10 || r.Name() != "x" {
+		t.Errorf("Reset cleared identity")
+	}
+}
+
+// Property: for any sequence of reservations, completion times are
+// non-decreasing and total busy time equals total amount / rate.
+func TestResourceFIFOPropertyQuick(t *testing.T) {
+	f := func(amounts []uint16, gaps []uint8) bool {
+		r := NewResource("q", 7)
+		var at Time
+		var prevEnd Time
+		var totalAmount float64
+		for i, a := range amounts {
+			if i < len(gaps) {
+				at += Time(gaps[i])
+			}
+			amt := float64(a % 1000)
+			end := r.Reserve(at, amt)
+			if end < prevEnd-1e-9 {
+				return false // FIFO violated
+			}
+			if amt > 0 {
+				prevEnd = end
+				totalAmount += amt
+			}
+		}
+		return math.Abs(float64(r.BusyCycles())-totalAmount/7) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: engine executes every scheduled event exactly once regardless of
+// schedule order.
+func TestEngineAllEventsRunQuick(t *testing.T) {
+	f := func(times []uint16) bool {
+		var e Engine
+		count := 0
+		for _, tm := range times {
+			e.Schedule(Time(tm), func() { count++ })
+		}
+		e.Run()
+		return count == len(times) && e.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,374 @@
+// Package workload synthesizes the rendering workloads of the paper's
+// evaluation. The original study profiles rendering traces of five
+// commercial games (Table 3); those traces are proprietary, so this package
+// generates deterministic synthetic equivalents calibrated to the published
+// trace statistics: draw-call counts, resolutions, per-object complexity
+// spread (which drives the Figure 10 load imbalance) and clustered texture
+// sharing (which the OO-VR middleware's TSL grouping exploits).
+//
+// DESIGN.md §1 documents this substitution.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"oovr/internal/geom"
+	"oovr/internal/scene"
+)
+
+// Spec is the generator recipe for one benchmark.
+type Spec struct {
+	// Abbr is the paper's abbreviation (Table 3).
+	Abbr string
+	// Name is the full game title.
+	Name string
+	// Library is the rendering API the original game used.
+	Library string
+	// Draws is the draw-command count per frame (Table 3).
+	Draws int
+	// Resolutions are the per-eye resolutions the paper renders (Table 3).
+	Resolutions [][2]int
+
+	// MeanTriangles is the mean triangle count per draw.
+	MeanTriangles float64
+	// TriSigma is the lognormal sigma of per-draw triangle counts; larger
+	// values produce the few-huge-objects profile that causes object-level
+	// SFR load imbalance (Figure 10).
+	TriSigma float64
+	// Overdraw is the average number of fragments shaded per covered pixel.
+	Overdraw float64
+	// TextureCount is the distinct-texture pool size per frame.
+	TextureCount int
+	// MeanTextureKB is the mean *shared* texture size.
+	MeanTextureKB float64
+	// PrivateTexKB is the mean size of each object's private texture (its
+	// own diffuse/material map). Private data is what the object-level SFR
+	// converts from remote to local accesses when it places "the rendering
+	// object along with its required data per GPM".
+	PrivateTexKB float64
+	// TexSigma is the lognormal sigma of texture sizes.
+	TexSigma float64
+	// Clusters is the number of material clusters; objects in the same
+	// cluster share that cluster's textures (the "stone" pillars of
+	// Figure 12).
+	Clusters int
+	// TexturesPerObject is the mean number of textures an object samples.
+	TexturesPerObject float64
+	// CommonTextureFrac is the probability an object also samples one of
+	// the global common textures (lightmaps), which raises cross-cluster
+	// sharing.
+	CommonTextureFrac float64
+	// DependencyFrac is the fraction of objects that depend on the previous
+	// object (programmer-defined blending order, Section 5.1).
+	DependencyFrac float64
+}
+
+// Benchmarks returns the five Table 3 specs in the paper's order.
+func Benchmarks() []Spec {
+	return []Spec{
+		{
+			Abbr: "DM3", Name: "Doom 3", Library: "OpenGL", Draws: 191,
+			Resolutions:   [][2]int{{1600, 1200}, {1280, 1024}, {640, 480}},
+			MeanTriangles: 950, TriSigma: 1.6, Overdraw: 2.6,
+			TextureCount: 60, MeanTextureKB: 640, PrivateTexKB: 512, TexSigma: 0.9,
+			Clusters: 12, TexturesPerObject: 2.0, CommonTextureFrac: 0.35,
+			DependencyFrac: 0.06,
+		},
+		{
+			Abbr: "HL2", Name: "Half-Life 2", Library: "DirectX", Draws: 328,
+			Resolutions:   [][2]int{{1600, 1200}, {1280, 1024}, {640, 480}},
+			MeanTriangles: 620, TriSigma: 1.4, Overdraw: 2.4,
+			TextureCount: 90, MeanTextureKB: 512, PrivateTexKB: 448, TexSigma: 0.9,
+			Clusters: 18, TexturesPerObject: 1.8, CommonTextureFrac: 0.3,
+			DependencyFrac: 0.05,
+		},
+		{
+			Abbr: "NFS", Name: "Need For Speed", Library: "DirectX", Draws: 1267,
+			Resolutions:   [][2]int{{1280, 1024}},
+			MeanTriangles: 280, TriSigma: 1.2, Overdraw: 2.2,
+			TextureCount: 180, MeanTextureKB: 384, PrivateTexKB: 320, TexSigma: 0.8,
+			Clusters: 30, TexturesPerObject: 1.6, CommonTextureFrac: 0.25,
+			DependencyFrac: 0.04,
+		},
+		{
+			Abbr: "UT3", Name: "Unreal Tournament 3", Library: "DirectX", Draws: 876,
+			Resolutions:   [][2]int{{1280, 1024}},
+			MeanTriangles: 380, TriSigma: 1.3, Overdraw: 2.5,
+			TextureCount: 140, MeanTextureKB: 512, PrivateTexKB: 384, TexSigma: 0.85,
+			Clusters: 24, TexturesPerObject: 1.8, CommonTextureFrac: 0.3,
+			DependencyFrac: 0.05,
+		},
+		{
+			Abbr: "WE", Name: "Wolfenstein", Library: "DirectX", Draws: 1697,
+			Resolutions:   [][2]int{{640, 480}},
+			MeanTriangles: 160, TriSigma: 1.1, Overdraw: 2.2,
+			TextureCount: 200, MeanTextureKB: 256, PrivateTexKB: 192, TexSigma: 0.8,
+			Clusters: 34, TexturesPerObject: 1.5, CommonTextureFrac: 0.25,
+			DependencyFrac: 0.04,
+		},
+	}
+}
+
+// ByAbbr returns the spec with the given abbreviation.
+func ByAbbr(abbr string) (Spec, bool) {
+	for _, s := range Benchmarks() {
+		if s.Abbr == abbr {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Case is one (benchmark, resolution) evaluation point; the paper's figures
+// plot nine of them.
+type Case struct {
+	// Name is the figure label, e.g. "DM3-1280" or "NFS".
+	Name string
+	// Spec is the generating benchmark.
+	Spec Spec
+	// Width, Height are the per-eye resolution.
+	Width, Height int
+}
+
+// Cases returns the nine benchmark/resolution pairs in the order the
+// paper's figures list them: DM3-640..1600, HL2-640..1600, NFS, UT3, WE.
+func Cases() []Case {
+	var out []Case
+	for _, sp := range Benchmarks() {
+		if len(sp.Resolutions) == 1 {
+			r := sp.Resolutions[0]
+			out = append(out, Case{Name: sp.Abbr, Spec: sp, Width: r[0], Height: r[1]})
+			continue
+		}
+		// Multi-resolution benchmarks are labelled Abbr-<width> and listed
+		// ascending, matching "DM3-640, DM3-1280, DM3-1600".
+		for i := len(sp.Resolutions) - 1; i >= 0; i-- {
+			r := sp.Resolutions[i]
+			out = append(out, Case{
+				Name: fmt.Sprintf("%s-%d", sp.Abbr, r[0]),
+				Spec: sp, Width: r[0], Height: r[1],
+			})
+		}
+	}
+	return out
+}
+
+// CaseByName returns the evaluation case with the given figure label.
+func CaseByName(name string) (Case, bool) {
+	for _, c := range Cases() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Case{}, false
+}
+
+// Generate synthesizes a scene of the given frame count at the given
+// per-eye resolution. The same (spec, resolution, frames, seed) always
+// yields the identical scene.
+func (sp Spec) Generate(width, height, frames int, seed int64) *scene.Scene {
+	if frames <= 0 {
+		panic("workload: frames must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed ^ int64(len(sp.Abbr))*7919 ^ int64(width)*31 ^ int64(height)*17))
+
+	s := &scene.Scene{
+		Name:   fmt.Sprintf("%s-%d", sp.Abbr, width),
+		Width:  width,
+		Height: height,
+	}
+
+	// Texture pool: lognormal sizes around MeanTextureKB.
+	nTex := sp.TextureCount
+	commonTex := nTex / 12
+	if commonTex < 2 {
+		commonTex = 2
+	}
+	mu := math.Log(sp.MeanTextureKB*1024) - sp.TexSigma*sp.TexSigma/2
+	for i := 0; i < nTex; i++ {
+		size := int64(math.Exp(rng.NormFloat64()*sp.TexSigma + mu))
+		if size < 16*1024 {
+			size = 16 * 1024
+		}
+		name := fmt.Sprintf("tex%03d", i)
+		if i < commonTex {
+			name = fmt.Sprintf("common%02d", i)
+		}
+		s.Textures = append(s.Textures, scene.Texture{ID: scene.TextureID(i), Name: name, Bytes: size})
+	}
+
+	// Cluster membership: the non-common textures are divided round-robin
+	// among the material clusters.
+	clusterTex := make([][]scene.TextureID, sp.Clusters)
+	for i := commonTex; i < nTex; i++ {
+		c := (i - commonTex) % sp.Clusters
+		clusterTex[c] = append(clusterTex[c], scene.TextureID(i))
+	}
+
+	// One private material texture per draw, appended after the shared pool.
+	privateTex := make([]scene.TextureID, sp.Draws)
+	muPriv := math.Log(sp.PrivateTexKB*1024) - sp.TexSigma*sp.TexSigma/2
+	for i := 0; i < sp.Draws; i++ {
+		size := int64(math.Exp(rng.NormFloat64()*sp.TexSigma + muPriv))
+		if size < 16*1024 {
+			size = 16 * 1024
+		}
+		id := scene.TextureID(len(s.Textures))
+		s.Textures = append(s.Textures, scene.Texture{ID: id, Name: fmt.Sprintf("priv%04d", i), Bytes: size})
+		privateTex[i] = id
+	}
+
+	// The scene's object set is built once: a game renders the same meshes
+	// and textures every frame. Subsequent frames are camera-jittered
+	// copies (fragment counts scale a little, bounds pan slightly); the
+	// draw list, texture bindings and dependencies stay fixed.
+	{
+		fi := 0
+		frame := scene.Frame{Index: fi}
+		jitter := 1.0
+
+		// Draw complexity weights (lognormal) for triangles and coverage.
+		triMu := math.Log(sp.MeanTriangles) - sp.TriSigma*sp.TriSigma/2
+		weights := make([]float64, sp.Draws)
+		tris := make([]int, sp.Draws)
+		yfracs := make([]float64, sp.Draws)
+		var weightSum float64
+		for i := 0; i < sp.Draws; i++ {
+			t := math.Exp(rng.NormFloat64()*sp.TriSigma + triMu)
+			if t < 8 {
+				t = 8
+			}
+			tris[i] = int(t)
+			// Bottom-heavy vertical placement: floors, walls and props sit
+			// low in the frame, the sky rows are nearly empty. Fragment
+			// mass correlates with it, which is what load-imbalances
+			// horizontal tile strips.
+			u := rng.Float64()
+			yfracs[i] = 1 - math.Pow(u, 1.6)
+			// Screen coverage correlates with triangle count sub-linearly:
+			// detailed meshes are not proportionally bigger on screen.
+			w := math.Pow(t, 0.85) * math.Exp(0.55*rng.NormFloat64()) * (0.6 + 0.8*yfracs[i])
+			weights[i] = w
+			weightSum += w
+		}
+		totalFrags := float64(width*height) * sp.Overdraw * jitter
+
+		for i := 0; i < sp.Draws; i++ {
+			frags := totalFrags * weights[i] / weightSum
+			o := scene.Object{
+				Index:        i,
+				Name:         fmt.Sprintf("draw%04d", i),
+				Triangles:    tris[i],
+				Vertices:     tris[i] * 3 * 2 / 3, // indexed meshes reuse vertices
+				FragsPerView: frags,
+				DependsOn:    scene.NoDependency,
+			}
+			if o.Vertices < 3 {
+				o.Vertices = 3
+			}
+
+			// Screen bounds sized from coverage (uniform density model).
+			// Big objects are wide and flat (floors, walls, terrain): they
+			// span many vertical strips but sit inside one or two horizontal
+			// rows, which is why horizontal tiling mishandles them.
+			sizeRank := weights[i] / (weightSum / float64(sp.Draws))
+			wideness := math.Pow(sizeRank, 0.6)
+			if wideness > 6 {
+				wideness = 6
+			}
+			aspect := (0.6 + 1.4*wideness) * (0.7 + 0.6*rng.Float64())
+			bw := math.Sqrt(frags / sp.Overdraw * aspect)
+			bh := math.Sqrt(frags / sp.Overdraw / aspect)
+			if bw < 1 {
+				bw = 1
+			}
+			if bh < 1 {
+				bh = 1
+			}
+			if bw > float64(width) {
+				bw = float64(width)
+			}
+			if bh > float64(height) {
+				bh = float64(height)
+			}
+			x := rng.Float64() * (float64(width) - bw)
+			y := yfracs[i] * (float64(height) - bh)
+			o.Bounds = geom.AABB{
+				Min: geom.Vec2{X: x, Y: y},
+				Max: geom.Vec2{X: x + bw, Y: y + bh},
+			}
+
+			// Every object samples its private material texture first, then
+			// its cluster's shared textures, then possibly a common texture.
+			o.Textures = append(o.Textures, privateTex[i])
+			cluster := clusterOf(rng, sp, i)
+			nRefs := 1 + int(rng.ExpFloat64()*(sp.TexturesPerObject-1)+0.5)
+			if nRefs < 1 {
+				nRefs = 1
+			}
+			if nRefs > 3 {
+				nRefs = 3
+			}
+			pool := clusterTex[cluster]
+			seen := map[scene.TextureID]bool{}
+			for r := 0; r < nRefs && len(pool) > 0; r++ {
+				tid := pool[rng.Intn(len(pool))]
+				if !seen[tid] {
+					o.Textures = append(o.Textures, tid)
+					seen[tid] = true
+				}
+			}
+			if rng.Float64() < sp.CommonTextureFrac {
+				tid := scene.TextureID(rng.Intn(commonTex))
+				if !seen[tid] {
+					o.Textures = append(o.Textures, tid)
+				}
+			}
+
+			if i > 0 && rng.Float64() < sp.DependencyFrac {
+				o.DependsOn = i - 1
+			}
+			frame.Objects = append(frame.Objects, o)
+		}
+		s.Frames = append(s.Frames, frame)
+	}
+	for fi := 1; fi < frames; fi++ {
+		base := &s.Frames[0]
+		frame := scene.Frame{Index: fi, Objects: make([]scene.Object, len(base.Objects))}
+		jitter := 1 + 0.05*rng.NormFloat64()
+		if jitter < 0.85 {
+			jitter = 0.85
+		}
+		dx := rng.NormFloat64() * 4
+		dy := rng.NormFloat64() * 2
+		viewRect := geom.AABB{Max: geom.Vec2{X: float64(width), Y: float64(height)}}
+		for oi := range base.Objects {
+			o := base.Objects[oi] // copy
+			o.FragsPerView *= jitter * (1 + 0.03*rng.NormFloat64())
+			if o.FragsPerView < 0 {
+				o.FragsPerView = 0
+			}
+			o.Bounds = o.Bounds.Translate(geom.Vec2{X: dx, Y: dy}).Clamp(viewRect)
+			frame.Objects[oi] = o
+		}
+		s.Frames = append(s.Frames, frame)
+	}
+	s.Validate()
+	return s
+}
+
+// clusterOf picks the material cluster for draw i: runs of consecutive
+// draws share a cluster, mimicking state-sorted submission.
+func clusterOf(rng *rand.Rand, sp Spec, i int) int {
+	// A new cluster is started roughly every (Draws/Clusters) draws; using
+	// the rng keeps run lengths irregular but deterministic.
+	runLen := sp.Draws/sp.Clusters + 1
+	base := (i / runLen) % sp.Clusters
+	// 20% of draws stray to a random cluster (shared props reappear).
+	if rng.Float64() < 0.2 {
+		return rng.Intn(sp.Clusters)
+	}
+	return base
+}

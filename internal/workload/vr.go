@@ -1,0 +1,60 @@
+package workload
+
+// Requirements captures one column of the paper's Table 1, the display
+// requirements that motivate multi-GPU VR rendering.
+type Requirements struct {
+	Platform       string
+	Display        string
+	FieldOfView    string
+	MPixels        float64 // million pixels per frame
+	FrameLatencyMs [2]float64
+}
+
+// Table1 returns the paper's Table 1: gaming PC versus stereo VR.
+func Table1() []Requirements {
+	return []Requirements{
+		{
+			Platform:       "Gaming PC",
+			Display:        "2D LCD panel",
+			FieldOfView:    "24-30\" diagonal",
+			MPixels:        4, // 2-4 Mpixels; upper bound
+			FrameLatencyMs: [2]float64{16, 33},
+		},
+		{
+			Platform:       "Stereo VR",
+			Display:        "Stereo HMD",
+			FieldOfView:    "120° horizontally, 135° vertically",
+			MPixels:        58.32 * 2,
+			FrameLatencyMs: [2]float64{5, 10},
+		},
+	}
+}
+
+// ValidationSpec returns the stand-ins for the NVIDIA VRWorks scenes
+// (Sponza, San Miguel) the paper uses to validate its SMP implementation
+// (Section 3). They are architectural walkthrough scenes: moderate draw
+// counts, large textures, heavy cross-view sharing.
+func ValidationSpec(name string) Spec {
+	switch name {
+	case "Sponza":
+		return Spec{
+			Abbr: "SPZ", Name: "Sponza (VRWorks stand-in)", Library: "OpenGL", Draws: 103,
+			Resolutions:   [][2]int{{1280, 1024}},
+			MeanTriangles: 2600, TriSigma: 1.0, Overdraw: 2.8,
+			TextureCount: 48, MeanTextureKB: 1024, TexSigma: 0.8,
+			Clusters: 10, TexturesPerObject: 2.2, CommonTextureFrac: 0.4,
+			DependencyFrac: 0.03,
+		}
+	case "SanMiguel":
+		return Spec{
+			Abbr: "SMG", Name: "San Miguel (VRWorks stand-in)", Library: "OpenGL", Draws: 260,
+			Resolutions:   [][2]int{{1280, 1024}},
+			MeanTriangles: 3800, TriSigma: 1.1, Overdraw: 3.0,
+			TextureCount: 80, MeanTextureKB: 1280, TexSigma: 0.85,
+			Clusters: 16, TexturesPerObject: 2.4, CommonTextureFrac: 0.4,
+			DependencyFrac: 0.03,
+		}
+	default:
+		panic("workload: unknown validation scene " + name)
+	}
+}

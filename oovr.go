@@ -1,0 +1,217 @@
+// Package oovr is a NUMA-friendly object-oriented VR rendering framework
+// and multi-GPU simulator — a from-scratch Go reproduction of
+//
+//	Xie, Fu, Chen, Song: "OO-VR: NUMA Friendly Object-Oriented VR Rendering
+//	Framework For Future NUMA-Based Multi-GPU Systems", ISCA 2019.
+//
+// The package exposes the project's public API as a façade over the
+// internal packages:
+//
+//   - hardware configuration (Table 2 defaults, bandwidth/GPM-count sweeps),
+//   - synthetic VR workloads calibrated to the paper's Table 3 benchmarks,
+//   - the transaction-level NUMA multi-GPU simulator,
+//   - the parallel rendering schedulers the paper characterizes (baseline
+//     single-programming-model, AFR, tile-level SFR, object-level SFR),
+//   - the OO-VR framework itself (TSL batching middleware, runtime batch
+//     distribution engine with the Equation-3 predictor, distributed
+//     hardware composition), and
+//   - the experiment harness that regenerates every figure and table of
+//     the paper's evaluation.
+//
+// # Quick start
+//
+//	spec, _ := oovr.BenchmarkByAbbr("HL2")
+//	scene := spec.Generate(1280, 1024, 4, 1)
+//	sys := oovr.NewSystem(oovr.DefaultOptions(), scene)
+//	metrics := oovr.NewOOVR().Render(sys)
+//	fmt.Println(metrics.TotalCycles, metrics.InterGPMBytes)
+//
+// See examples/ for runnable programs and DESIGN.md for the model.
+package oovr
+
+import (
+	"io"
+
+	"oovr/internal/core"
+	"oovr/internal/experiments"
+	"oovr/internal/gpu"
+	"oovr/internal/mem"
+	"oovr/internal/multigpu"
+	"oovr/internal/pipeline"
+	"oovr/internal/render"
+	"oovr/internal/scene"
+	"oovr/internal/stats"
+	"oovr/internal/workload"
+)
+
+// Hardware configuration.
+type (
+	// HardwareConfig describes the multi-GPU machine (Table 2 defaults).
+	HardwareConfig = gpu.Config
+	// CacheModel is the texture cache filter model.
+	CacheModel = gpu.CacheModel
+	// Options bundle the hardware config with the simulator's calibration
+	// knobs.
+	Options = multigpu.Options
+)
+
+// Table2Config returns the paper's baseline hardware configuration.
+func Table2Config() HardwareConfig { return gpu.Table2Config() }
+
+// DefaultOptions returns the calibrated simulator options used by all
+// experiments.
+func DefaultOptions() Options { return multigpu.DefaultOptions() }
+
+// Workloads.
+type (
+	// BenchmarkSpec is a synthetic workload recipe (Table 3 calibrated).
+	BenchmarkSpec = workload.Spec
+	// BenchmarkCase is one (benchmark, resolution) evaluation point.
+	BenchmarkCase = workload.Case
+	// Scene is a generated workload: textures, frames, objects.
+	Scene = scene.Scene
+	// Object is one draw command.
+	Object = scene.Object
+	// Texture is one sampled image.
+	Texture = scene.Texture
+)
+
+// Benchmarks returns the five Table 3 workload recipes.
+func Benchmarks() []BenchmarkSpec { return workload.Benchmarks() }
+
+// BenchmarkByAbbr looks a recipe up by its paper abbreviation (DM3, HL2,
+// NFS, UT3, WE).
+func BenchmarkByAbbr(abbr string) (BenchmarkSpec, bool) { return workload.ByAbbr(abbr) }
+
+// BenchmarkCases returns the paper's nine benchmark/resolution points.
+func BenchmarkCases() []BenchmarkCase { return workload.Cases() }
+
+// DecodeScene reads a versioned JSON trace (see cmd/oovrtrace -export) so
+// profiled traces from real applications can drive the simulator.
+func DecodeScene(r io.Reader) (*Scene, error) { return scene.Decode(r) }
+
+// The simulator.
+type (
+	// System is a hardware configuration bound to a scene, ready to render.
+	System = multigpu.System
+	// Metrics summarize a completed run: cycles, frame latencies, per-GPM
+	// busy time and the inter-GPM traffic breakdown.
+	Metrics = multigpu.Metrics
+	// Task is one schedulable unit on a GPM (exposed for custom
+	// schedulers).
+	Task = multigpu.Task
+	// TaskPart is one object share inside a Task.
+	TaskPart = multigpu.TaskPart
+	// GPMID identifies a GPU module.
+	GPMID = mem.GPMID
+)
+
+// NewSystem binds options to a scene.
+func NewSystem(opt Options, sc *Scene) *System { return multigpu.New(opt, sc) }
+
+// RenderMode selects how a task covers the two eye views.
+type RenderMode = pipeline.Mode
+
+// Stereo coverage modes for TaskPart.Mode.
+const (
+	// ModeSingleView renders one eye only.
+	ModeSingleView = pipeline.ModeSingleView
+	// ModeBothSMP renders both eyes in one pass via the SMP engine.
+	ModeBothSMP = pipeline.ModeBothSMP
+	// ModeBothSequential renders both eyes back to back without SMP.
+	ModeBothSequential = pipeline.ModeBothSequential
+)
+
+// ColorTarget selects where a task's color output lands.
+type ColorTarget = multigpu.ColorTarget
+
+// Color output paths for Task.Color.
+const (
+	// ColorStriped writes to the NUMA-striped shared framebuffer.
+	ColorStriped = multigpu.ColorStriped
+	// ColorLocalStage stages pixels locally for a later composition pass.
+	ColorLocalStage = multigpu.ColorLocalStage
+	// ColorPartitionOwned writes directly to the GPM's framebuffer
+	// partition.
+	ColorPartitionOwned = multigpu.ColorPartitionOwned
+)
+
+// Schedulers.
+type (
+	// Scheduler renders a bound scene and reports metrics. Implement it to
+	// plug a custom distribution strategy into the simulator (see
+	// examples/custom_scheduler).
+	Scheduler = render.Scheduler
+	// Baseline is the single-programming-model scheme of Section 2.3.
+	Baseline = render.Baseline
+	// AFR is alternate frame rendering (Section 4.1).
+	AFR = render.AFR
+	// TileV is vertical-strip tile-level SFR (Section 4.2).
+	TileV = render.TileV
+	// TileH is horizontal-strip tile-level SFR (Section 4.2).
+	TileH = render.TileH
+	// ObjectSFR is conventional object-level SFR (Section 4.3).
+	ObjectSFR = render.ObjectSFR
+	// OOApp is the software-only OO programming model design point.
+	OOApp = core.OOApp
+	// OOVR is the full software/hardware co-designed framework.
+	OOVR = core.OOVR
+	// Middleware is the TSL batching middleware (Section 5.1).
+	Middleware = core.Middleware
+	// Batch is a TSL-grouped set of objects.
+	Batch = core.Batch
+	// Predictor is the Equation (3) rendering-time model.
+	Predictor = core.Predictor
+)
+
+// DefaultAFR returns the calibrated AFR configuration.
+func DefaultAFR() AFR { return render.DefaultAFR() }
+
+// NewOOApp returns the OO_APP design point with the paper's constants.
+func NewOOApp() OOApp { return core.NewOOApp() }
+
+// NewOOVR returns the full OO-VR configuration.
+func NewOOVR() OOVR { return core.NewOOVR() }
+
+// NewMiddleware returns a TSL middleware with the paper's constants
+// (threshold 0.5, 4096-triangle cap).
+func NewMiddleware() Middleware { return core.NewMiddleware() }
+
+// TSL computes the Equation (1) texture sharing level between two texture
+// sets within a scene.
+func TSL(sc *Scene, root, candidate []scene.TextureID) float64 {
+	return core.TSL(sc, root, candidate)
+}
+
+// Experiments.
+type (
+	// ExperimentOptions configure a harness run.
+	ExperimentOptions = experiments.Options
+	// Figure is a reproduced paper figure (labels + series).
+	Figure = stats.Figure
+)
+
+// Experiment functions, one per paper table/figure. See EXPERIMENTS.md for
+// a full archived run and the paper-vs-measured comparison.
+var (
+	SMPValidation       = experiments.E0SMPValidation
+	Figure4             = experiments.F4Bandwidth
+	Figure7             = experiments.F7AFR
+	Figure8             = experiments.F8SFRPerformance
+	Figure9             = experiments.F9SFRTraffic
+	Figure10            = experiments.F10Imbalance
+	Figure15            = experiments.F15Speedup
+	Figure16            = experiments.F16Traffic
+	Figure17            = experiments.F17BandwidthScaling
+	Figure18            = experiments.F18GPMScaling
+	OverheadAnalysis    = experiments.O1Overhead
+	ResidualTraffic     = experiments.TrafficBreakdown
+	AblationNoBatching  = experiments.A1NoBatching
+	AblationNoPredictor = experiments.A2NoPredictor
+	AblationNoDHC       = experiments.A3NoDHC
+	AblationTSLSweep    = experiments.A4TSLSweep
+)
+
+// EngineOverheadBits returns the Section 5.4 storage accounting for the
+// runtime distribution engine (960 bits for the 4-GPM baseline).
+func EngineOverheadBits(numGPMs int) int { return core.EngineOverhead(numGPMs).TotalBits() }

@@ -1,0 +1,102 @@
+package oovr_test
+
+import (
+	"testing"
+
+	"oovr"
+)
+
+// The public-API tests double as integration tests: they exercise the whole
+// stack (workload synthesis → NUMA simulator → schedulers → metrics) the
+// way a downstream user would.
+
+func smallScene(t *testing.T, frames int) *oovr.Scene {
+	t.Helper()
+	spec, ok := oovr.BenchmarkByAbbr("DM3")
+	if !ok {
+		t.Fatal("DM3 benchmark missing")
+	}
+	return spec.Generate(640, 480, frames, 1)
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	sc := smallScene(t, 2)
+	sys := oovr.NewSystem(oovr.DefaultOptions(), sc)
+	m := oovr.NewOOVR().Render(sys)
+	if m.Frames != 2 || m.TotalCycles <= 0 {
+		t.Fatalf("OOVR render failed: %+v", m)
+	}
+}
+
+func TestAllSchedulersRunViaPublicAPI(t *testing.T) {
+	schedulers := []oovr.Scheduler{
+		oovr.Baseline{},
+		oovr.DefaultAFR(),
+		oovr.TileV{},
+		oovr.TileH{},
+		oovr.ObjectSFR{},
+		oovr.NewOOApp(),
+		oovr.NewOOVR(),
+	}
+	for _, s := range schedulers {
+		sys := oovr.NewSystem(oovr.DefaultOptions(), smallScene(t, 2))
+		m := s.Render(sys)
+		if m.Frames != 2 {
+			t.Errorf("%s: frames = %d", s.Name(), m.Frames)
+		}
+		if m.TotalCycles <= 0 {
+			t.Errorf("%s: no cycles", s.Name())
+		}
+	}
+}
+
+func TestPaperHeadlineOrderings(t *testing.T) {
+	// The paper's headline claims, on the real workload through the public
+	// API: OO-VR beats the baseline on single-frame latency and cuts
+	// inter-GPM traffic by more than half.
+	sc4 := func() *oovr.Scene { return smallScene(t, 4) }
+	base := oovr.Baseline{}.Render(oovr.NewSystem(oovr.DefaultOptions(), sc4()))
+	ovr := oovr.NewOOVR().Render(oovr.NewSystem(oovr.DefaultOptions(), sc4()))
+	if ovr.AvgFrameLatency() >= base.AvgFrameLatency() {
+		t.Errorf("OOVR latency %v not below baseline %v", ovr.AvgFrameLatency(), base.AvgFrameLatency())
+	}
+	if ovr.InterGPMBytes >= base.InterGPMBytes/2 {
+		t.Errorf("OOVR traffic %v not <50%% of baseline %v", ovr.InterGPMBytes, base.InterGPMBytes)
+	}
+}
+
+func TestHardwareSweepsViaPublicAPI(t *testing.T) {
+	opt := oovr.DefaultOptions()
+	opt.Config = oovr.Table2Config().WithGPMs(8).WithLinkGBs(128)
+	sys := oovr.NewSystem(opt, smallScene(t, 1))
+	m := oovr.NewOOVR().Render(sys)
+	if len(m.GPMBusyCycles) != 8 {
+		t.Errorf("expected 8 GPMs, got %d", len(m.GPMBusyCycles))
+	}
+}
+
+func TestTSLViaPublicAPI(t *testing.T) {
+	sc := smallScene(t, 1)
+	objs := sc.Frames[0].Objects
+	v := oovr.TSL(sc, objs[0].Textures, objs[0].Textures)
+	if v <= 0 || v > 1 {
+		t.Errorf("self-TSL = %v, want (0,1]", v)
+	}
+}
+
+func TestEngineOverheadBits(t *testing.T) {
+	if got := oovr.EngineOverheadBits(4); got != 960 {
+		t.Errorf("EngineOverheadBits(4) = %d, Section 5.4 says 960", got)
+	}
+}
+
+func TestExperimentViaPublicAPI(t *testing.T) {
+	cases := oovr.BenchmarkCases()[:1]
+	fig := oovr.Figure10(oovr.ExperimentOptions{Frames: 1, Seed: 1, Cases: cases})
+	if len(fig.Series) != 1 || len(fig.Series[0].Values) != 1 {
+		t.Fatalf("Figure10 shape wrong: %+v", fig)
+	}
+	if fig.Series[0].Values[0] < 1 {
+		t.Errorf("best-to-worst ratio below 1: %v", fig.Series[0].Values[0])
+	}
+}
