@@ -4,7 +4,12 @@
 // Usage:
 //
 //	oovrfigures [-exp all|T1|T2|T3|E0|F4|F7|F8|F9|F10|F15|F16|F17|F18|O1|BRK|A1|A2|A3|A4]
-//	            [-frames N] [-seed S] [-csv]
+//	            [-frames N] [-seed S] [-csv] [-parallel N]
+//
+// -parallel spreads independent simulation cases across N worker
+// goroutines (default: all CPUs). Each case binds its own simulator
+// instance and results are assembled by index, so the output is identical
+// to a serial (-parallel 1) run.
 //
 // Each figure's caption restates the paper's reported numbers so the output
 // reads as a paper-vs-measured comparison; EXPERIMENTS.md archives one run.
@@ -14,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"oovr/internal/experiments"
@@ -27,9 +33,10 @@ func main() {
 	frames := flag.Int("frames", 0, "frames per simulation run (0: per-experiment default)")
 	seed := flag.Int64("seed", 1, "workload synthesis seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "simulation worker goroutines (output is identical for any value)")
 	flag.Parse()
 
-	opt := experiments.Options{Frames: *frames, Seed: *seed}
+	opt := experiments.Options{Frames: *frames, Seed: *seed, Parallel: *parallel}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
 		want[strings.ToUpper(strings.TrimSpace(e))] = true

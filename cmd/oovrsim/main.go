@@ -5,16 +5,20 @@
 // Usage:
 //
 //	oovrsim [-bench HL2-1280] [-scheme oovr] [-gpms 4] [-link 64]
-//	        [-frames 4] [-seed 1] [-all]
+//	        [-frames 4] [-seed 1] [-all] [-parallel N]
 //
-// Schemes: baseline, afr, tilev, tileh, object, ooapp, oovr.
+// Schemes: baseline, afr, tilev, tileh, object, ooapp, oovr. With -all,
+// -parallel runs the schedulers' simulations concurrently (each binds its
+// own system, so the printed comparison is identical to a serial run).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 
 	"oovr/internal/core"
 	"oovr/internal/multigpu"
@@ -51,6 +55,7 @@ func main() {
 	frames := flag.Int("frames", 4, "frames to render")
 	seed := flag.Int64("seed", 1, "workload synthesis seed")
 	all := flag.Bool("all", false, "run every scheduler and print a comparison")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "with -all: worker goroutines (output is identical for any value)")
 	flag.Parse()
 
 	c, ok := workload.CaseByName(*bench)
@@ -74,13 +79,32 @@ func main() {
 
 	if *all {
 		names := []string{"baseline", "afr", "tilev", "tileh", "object", "ooapp", "oovr"}
+		// Each scheduler simulates on its own system, so the comparison rows
+		// compute concurrently; printing stays in scheme order.
+		ms := make([]multigpu.Metrics, len(names))
+		workers := *parallel
+		if workers < 1 {
+			workers = 1
+		}
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, n := range names {
+			s, _ := schedulerByName(n)
+			wg.Add(1)
+			go func(i int, s render.Scheduler) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				ms[i] = run(s)
+			}(i, s)
+		}
+		wg.Wait()
 		fmt.Printf("%s  %d GPMs  %g GB/s links  %d frames\n\n", c.Name, *gpms, *linkGBs, *frames)
 		fmt.Printf("%-16s %14s %14s %14s %10s\n", "scheme", "cycles/frame", "frame latency", "inter-GPM MB", "busy max/min")
-		for _, n := range names {
-			s, _ := schedulerByName(n)
-			m := run(s)
+		for i := range names {
+			m := ms[i]
 			fmt.Printf("%-16s %14.0f %14.0f %14.1f %10.2f\n",
-				s.Name(), m.FPSCycles(), m.AvgFrameLatency(), m.InterGPMBytes/1e6, m.BestToWorstBusyRatio())
+				m.Scheme, m.FPSCycles(), m.AvgFrameLatency(), m.InterGPMBytes/1e6, m.BestToWorstBusyRatio())
 		}
 		return
 	}

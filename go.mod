@@ -1,0 +1,3 @@
+module oovr
+
+go 1.24

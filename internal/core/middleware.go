@@ -67,12 +67,19 @@ func TSL(sc *scene.Scene, root []scene.TextureID, candidate []scene.TextureID) f
 	if len(root) == 0 || len(candidate) == 0 {
 		return 0
 	}
+	// Σ_t Pr(t) over the (deduplicated) root set is 1 by construction, so
+	// the denominator of Equation (1) needs no explicit renormalization.
+	// Summation follows the root slice order — not a map — so TSL is
+	// bit-stable across runs (it feeds threshold comparisons, and the
+	// simulator guarantees deterministic schedules). Texture sets are tiny,
+	// so duplicates are skipped by prefix scan instead of a hash set: TSL
+	// is the O(n²) inner loop of GroupFrame and must not allocate.
 	var rootTotal, candTotal int64
-	rootBytes := make(map[scene.TextureID]int64, len(root))
-	for _, t := range root {
-		b := sc.Texture(t).Bytes
-		rootBytes[t] = b
-		rootTotal += b
+	for i, t := range root {
+		if contains(root[:i], t) {
+			continue
+		}
+		rootTotal += sc.Texture(t).Bytes
 	}
 	for _, t := range candidate {
 		candTotal += sc.Texture(t).Bytes
@@ -80,21 +87,16 @@ func TSL(sc *scene.Scene, root []scene.TextureID, candidate []scene.TextureID) f
 	if rootTotal == 0 || candTotal == 0 {
 		return 0
 	}
-	var num, den float64
-	for t, rb := range rootBytes {
-		pr := float64(rb) / float64(rootTotal)
-		den += pr
-		if contains(candidate, t) {
-			pn := float64(sc.Texture(t).Bytes) / float64(candTotal)
-			num += pr * pn
+	var num float64
+	for i, t := range root {
+		if contains(root[:i], t) || !contains(candidate, t) {
+			continue
 		}
+		pr := float64(sc.Texture(t).Bytes) / float64(rootTotal)
+		pn := float64(sc.Texture(t).Bytes) / float64(candTotal)
+		num += pr * pn
 	}
-	if den == 0 {
-		return 0
-	}
-	// Normalizing by den (=1 by construction, kept for clarity with the
-	// paper's formula where the root set may carry duplicate references).
-	return num / den
+	return num
 }
 
 func contains(ts []scene.TextureID, t scene.TextureID) bool {

@@ -62,11 +62,11 @@ func A4TSLSweep(o Options) stats.Figure {
 			v := core.NewOOVR()
 			v.Middleware.TSLThreshold = th
 			v.Middleware.TriangleCap = cap
-			var ratios []float64
-			for ci, c := range o.Cases {
-				m := runCase(c, v, o.sysOptions(), o.Frames, o.Seed)
-				ratios = append(ratios, base[ci]/m.AvgFrameLatency())
-			}
+			ratios := make([]float64, len(o.Cases))
+			o.forEach(len(o.Cases), func(ci int) {
+				m := runCase(o.Cases[ci], v, o.sysOptions(), o.Frames, o.Seed)
+				ratios[ci] = base[ci] / m.AvgFrameLatency()
+			})
 			labels = append(labels, fmt.Sprintf("th%.1f/cap%d", th, cap))
 			vals = append(vals, stats.GeoMean(ratios))
 		}
@@ -83,9 +83,9 @@ func A4TSLSweep(o Options) stats.Figure {
 func baselineLatencies(o Options) []float64 {
 	o = o.defaults()
 	base := make([]float64, len(o.Cases))
-	for ci, c := range o.Cases {
-		base[ci] = runCase(c, render.Baseline{}, o.sysOptions(), o.Frames, o.Seed).AvgFrameLatency()
-	}
+	o.forEach(len(o.Cases), func(ci int) {
+		base[ci] = runCase(o.Cases[ci], render.Baseline{}, o.sysOptions(), o.Frames, o.Seed).AvgFrameLatency()
+	})
 	return base
 }
 
@@ -96,10 +96,10 @@ func ablationFigure(o Options, id, caption string, variants map[string]core.OOVR
 	for _, name := range stats.SortedKeys(variants) {
 		v := variants[name]
 		vals := make([]float64, len(o.Cases))
-		for ci, c := range o.Cases {
-			m := runCase(c, v, o.sysOptions(), o.Frames, o.Seed)
+		o.forEach(len(o.Cases), func(ci int) {
+			m := runCase(o.Cases[ci], v, o.sysOptions(), o.Frames, o.Seed)
 			vals[ci] = base[ci] / m.AvgFrameLatency()
-		}
+		})
 		fig.AddSeries(name, vals)
 	}
 	return fig

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"oovr/internal/core"
+	"oovr/internal/multigpu"
+	"oovr/internal/render"
+	"oovr/internal/workload"
+)
+
+// TestGoldenSchedulerDeterminism pins the simulator's determinism
+// guarantee: rendering the same case with the same seed twice must produce
+// byte-identical Metrics for every scheduler. Go randomizes map iteration
+// per range statement, so a double run inside one process catches any
+// map-order dependence (the seed had one in the ShipTextures reservation
+// order and one in the TSL texture-map summation).
+func TestGoldenSchedulerDeterminism(t *testing.T) {
+	c, ok := workload.CaseByName("HL2-1280")
+	if !ok {
+		t.Fatal("missing benchmark case")
+	}
+	scheds := []render.Scheduler{
+		render.Baseline{},
+		render.DefaultAFR(),
+		render.TileV{},
+		render.TileH{},
+		render.ObjectSFR{},
+		core.NewOOApp(),
+		core.NewOOVR(),
+	}
+	for _, s := range scheds {
+		a := runCase(c, s, multigpu.DefaultOptions(), 4, 1)
+		b := runCase(c, s, multigpu.DefaultOptions(), 4, 1)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: two identical runs diverged:\n  %+v\nvs\n  %+v", s.Name(), a, b)
+		}
+	}
+}
+
+// TestParallelMatchesSerial is the harness half of the determinism
+// guarantee: a Parallel > 1 figure run must be byte-identical to the
+// serial run.
+func TestParallelMatchesSerial(t *testing.T) {
+	c1, _ := workload.CaseByName("DM3-640")
+	c2, _ := workload.CaseByName("HL2-1280")
+	serial := Options{Frames: 2, Seed: 1, Cases: []workload.Case{c1, c2}}
+	parallel := serial
+	parallel.Parallel = 4
+
+	type figFn struct {
+		name string
+		fn   func(Options) interface{}
+	}
+	figs := []figFn{
+		{"E0", func(o Options) interface{} { return E0SMPValidation(o) }},
+		{"F4", func(o Options) interface{} { return F4Bandwidth(o) }},
+		{"F9", func(o Options) interface{} { return F9SFRTraffic(o) }},
+		{"F16", func(o Options) interface{} { return F16Traffic(o) }},
+		{"F18", func(o Options) interface{} { return F18GPMScaling(o) }},
+		{"BRK", func(o Options) interface{} { return TrafficBreakdown(o) }},
+	}
+	for _, f := range figs {
+		want := f.fn(serial)
+		got := f.fn(parallel)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: parallel run diverged from serial:\n  %+v\nvs\n  %+v", f.name, got, want)
+		}
+	}
+}

@@ -32,6 +32,11 @@ type Options struct {
 	Cases []workload.Case
 	// System overrides the default multi-GPU configuration.
 	System *multigpu.Options
+	// Parallel is the number of worker goroutines evaluating independent
+	// simulation cases (0 or 1 runs serially). Every case binds its own
+	// multigpu.System and results are assembled by index, so any Parallel
+	// value produces output identical to a serial run.
+	Parallel int
 }
 
 // Defaults fills unset fields.
@@ -87,20 +92,18 @@ func E0SMPValidation(o Options) stats.Figure {
 		Caption: "single-GPU speedup of SMP stereo over sequential stereo (paper: 1.27x)",
 		XLabels: labels,
 	}
-	var speedups []float64
-	run := func(c workload.Case) {
-		seq := runCase(c, singleGPU{mode: pipeline.ModeBothSequential}, sysOpt, o.Frames, o.Seed)
-		smp := runCase(c, singleGPU{mode: pipeline.ModeBothSMP}, sysOpt, o.Frames, o.Seed)
-		speedups = append(speedups, seq.TotalCycles/smp.TotalCycles)
-	}
-	for _, c := range o.Cases {
-		run(c)
-	}
+	cases := append([]workload.Case(nil), o.Cases...)
 	for _, name := range []string{"Sponza", "SanMiguel"} {
 		sp := workload.ValidationSpec(name)
 		r := sp.Resolutions[0]
-		run(workload.Case{Name: name, Spec: sp, Width: r[0], Height: r[1]})
+		cases = append(cases, workload.Case{Name: name, Spec: sp, Width: r[0], Height: r[1]})
 	}
+	speedups := make([]float64, len(cases))
+	o.forEach(len(cases), func(ci int) {
+		seq := runCase(cases[ci], singleGPU{mode: pipeline.ModeBothSequential}, sysOpt, o.Frames, o.Seed)
+		smp := runCase(cases[ci], singleGPU{mode: pipeline.ModeBothSMP}, sysOpt, o.Frames, o.Seed)
+		speedups[ci] = seq.TotalCycles / smp.TotalCycles
+	})
 	fig.AddSeries("SMP speedup", speedups)
 	return fig
 }
@@ -144,13 +147,13 @@ func F4Bandwidth(o Options) stats.Figure {
 		sysOpt := o.sysOptions()
 		sysOpt.Config = sysOpt.Config.WithLinkGBs(bw)
 		vals := make([]float64, len(o.Cases))
-		for ci, c := range o.Cases {
-			m := runCase(c, render.Baseline{}, sysOpt, o.Frames, o.Seed)
+		o.forEach(len(o.Cases), func(ci int) {
+			m := runCase(o.Cases[ci], render.Baseline{}, sysOpt, o.Frames, o.Seed)
 			if bi == 0 {
 				ref[ci] = m.TotalCycles
 			}
 			vals[ci] = ref[ci] / m.TotalCycles
-		}
+		})
 		fig.AddSeries(bwLabel(bw), vals)
 	}
 	return fig
@@ -180,12 +183,12 @@ func F7AFR(o Options) stats.Figure {
 	}
 	perf := make([]float64, len(o.Cases))
 	lat := make([]float64, len(o.Cases))
-	for ci, c := range o.Cases {
-		base := runCase(c, render.Baseline{}, o.sysOptions(), o.Frames, o.Seed)
-		afr := runCase(c, render.DefaultAFR(), o.sysOptions(), o.Frames, o.Seed)
+	o.forEach(len(o.Cases), func(ci int) {
+		base := runCase(o.Cases[ci], render.Baseline{}, o.sysOptions(), o.Frames, o.Seed)
+		afr := runCase(o.Cases[ci], render.DefaultAFR(), o.sysOptions(), o.Frames, o.Seed)
 		perf[ci] = base.FPSCycles() / afr.FPSCycles()
 		lat[ci] = afr.AvgFrameLatency() / base.AvgFrameLatency()
-	}
+	})
 	fig.AddSeries("Overall performance", perf)
 	fig.AddSeries("Single frame latency", lat)
 	return fig
@@ -203,14 +206,14 @@ func F8SFRPerformance(o Options) stats.Figure {
 	}
 	schemes := []render.Scheduler{render.TileV{}, render.TileH{}, render.ObjectSFR{}}
 	base := make([]float64, len(o.Cases))
-	for ci, c := range o.Cases {
-		base[ci] = runCase(c, render.Baseline{}, o.sysOptions(), o.Frames, o.Seed).FPSCycles()
-	}
+	o.forEach(len(o.Cases), func(ci int) {
+		base[ci] = runCase(o.Cases[ci], render.Baseline{}, o.sysOptions(), o.Frames, o.Seed).FPSCycles()
+	})
 	for _, s := range schemes {
 		vals := make([]float64, len(o.Cases))
-		for ci, c := range o.Cases {
-			vals[ci] = base[ci] / runCase(c, s, o.sysOptions(), o.Frames, o.Seed).FPSCycles()
-		}
+		o.forEach(len(o.Cases), func(ci int) {
+			vals[ci] = base[ci] / runCase(o.Cases[ci], s, o.sysOptions(), o.Frames, o.Seed).FPSCycles()
+		})
 		fig.AddSeries(s.Name(), vals)
 	}
 	return fig
@@ -228,14 +231,14 @@ func F9SFRTraffic(o Options) stats.Figure {
 	}
 	schemes := []render.Scheduler{render.TileV{}, render.TileH{}, render.ObjectSFR{}}
 	base := make([]float64, len(o.Cases))
-	for ci, c := range o.Cases {
-		base[ci] = runCase(c, render.Baseline{}, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes
-	}
+	o.forEach(len(o.Cases), func(ci int) {
+		base[ci] = runCase(o.Cases[ci], render.Baseline{}, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes
+	})
 	for _, s := range schemes {
 		vals := make([]float64, len(o.Cases))
-		for ci, c := range o.Cases {
-			vals[ci] = runCase(c, s, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes / base[ci]
-		}
+		o.forEach(len(o.Cases), func(ci int) {
+			vals[ci] = runCase(o.Cases[ci], s, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes / base[ci]
+		})
 		fig.AddSeries(s.Name(), vals)
 	}
 	return fig
@@ -251,9 +254,9 @@ func F10Imbalance(o Options) stats.Figure {
 		XLabels: o.caseNames(),
 	}
 	vals := make([]float64, len(o.Cases))
-	for ci, c := range o.Cases {
-		vals[ci] = runCase(c, render.ObjectSFR{}, o.sysOptions(), o.Frames, o.Seed).BestToWorstBusyRatio()
-	}
+	o.forEach(len(o.Cases), func(ci int) {
+		vals[ci] = runCase(o.Cases[ci], render.ObjectSFR{}, o.sysOptions(), o.Frames, o.Seed).BestToWorstBusyRatio()
+	})
 	fig.AddSeries("Best-to-worst ratio", vals)
 	return fig
 }
@@ -270,14 +273,14 @@ func F15Speedup(o Options) stats.Figure {
 		XLabels: o.caseNames(),
 	}
 	base := make([]float64, len(o.Cases))
-	for ci, c := range o.Cases {
-		base[ci] = runCase(c, render.Baseline{}, o.sysOptions(), o.Frames, o.Seed).AvgFrameLatency()
-	}
+	o.forEach(len(o.Cases), func(ci int) {
+		base[ci] = runCase(o.Cases[ci], render.Baseline{}, o.sysOptions(), o.Frames, o.Seed).AvgFrameLatency()
+	})
 	addNormalized := func(name string, sched render.Scheduler, sysOpt multigpu.Options) {
 		vals := make([]float64, len(o.Cases))
-		for ci, c := range o.Cases {
-			vals[ci] = base[ci] / runCase(c, sched, sysOpt, o.Frames, o.Seed).AvgFrameLatency()
-		}
+		o.forEach(len(o.Cases), func(ci int) {
+			vals[ci] = base[ci] / runCase(o.Cases[ci], sched, sysOpt, o.Frames, o.Seed).AvgFrameLatency()
+		})
 		fig.AddSeries(name, vals)
 	}
 	addNormalized("Object-Level", render.ObjectSFR{}, o.sysOptions())
@@ -301,15 +304,15 @@ func F16Traffic(o Options) stats.Figure {
 		XLabels: o.caseNames(),
 	}
 	base := make([]float64, len(o.Cases))
-	for ci, c := range o.Cases {
-		base[ci] = runCase(c, render.Baseline{}, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes
-	}
+	o.forEach(len(o.Cases), func(ci int) {
+		base[ci] = runCase(o.Cases[ci], render.Baseline{}, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes
+	})
 	fig.AddSeries("Baseline", stats.Normalize(base, base))
 	for _, s := range []render.Scheduler{render.ObjectSFR{}, core.NewOOVR()} {
 		vals := make([]float64, len(o.Cases))
-		for ci, c := range o.Cases {
-			vals[ci] = runCase(c, s, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes / base[ci]
-		}
+		o.forEach(len(o.Cases), func(ci int) {
+			vals[ci] = runCase(o.Cases[ci], s, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes / base[ci]
+		})
 		fig.AddSeries(s.Name(), vals)
 	}
 	return fig
@@ -330,19 +333,19 @@ func F17BandwidthScaling(o Options) stats.Figure {
 	refOpt := o.sysOptions()
 	refOpt.Config = refOpt.Config.WithLinkGBs(64)
 	ref := make([]float64, len(o.Cases))
-	for ci, c := range o.Cases {
-		ref[ci] = runCase(c, render.Baseline{}, refOpt, o.Frames, o.Seed).TotalCycles
-	}
+	o.forEach(len(o.Cases), func(ci int) {
+		ref[ci] = runCase(o.Cases[ci], render.Baseline{}, refOpt, o.Frames, o.Seed).TotalCycles
+	})
 	for _, s := range []render.Scheduler{render.Baseline{}, render.ObjectSFR{}, core.NewOOVR()} {
 		vals := make([]float64, len(bws))
 		for bi, bw := range bws {
 			sysOpt := o.sysOptions()
 			sysOpt.Config = sysOpt.Config.WithLinkGBs(bw)
-			var ratios []float64
-			for ci, c := range o.Cases {
-				m := runCase(c, s, sysOpt, o.Frames, o.Seed)
-				ratios = append(ratios, ref[ci]/m.TotalCycles)
-			}
+			ratios := make([]float64, len(o.Cases))
+			o.forEach(len(o.Cases), func(ci int) {
+				m := runCase(o.Cases[ci], s, sysOpt, o.Frames, o.Seed)
+				ratios[ci] = ref[ci] / m.TotalCycles
+			})
 			vals[bi] = stats.GeoMean(ratios)
 		}
 		fig.AddSeries(s.Name(), vals)
@@ -365,19 +368,19 @@ func F18GPMScaling(o Options) stats.Figure {
 	oneOpt := o.sysOptions()
 	oneOpt.Config = oneOpt.Config.WithGPMs(1)
 	ref := make([]float64, len(o.Cases))
-	for ci, c := range o.Cases {
-		ref[ci] = runCase(c, singleGPU{mode: pipeline.ModeBothSMP}, oneOpt, o.Frames, o.Seed).TotalCycles
-	}
+	o.forEach(len(o.Cases), func(ci int) {
+		ref[ci] = runCase(o.Cases[ci], singleGPU{mode: pipeline.ModeBothSMP}, oneOpt, o.Frames, o.Seed).TotalCycles
+	})
 	for _, s := range []render.Scheduler{render.Baseline{}, render.ObjectSFR{}, core.NewOOVR()} {
 		vals := make([]float64, len(counts))
 		for ni, n := range counts {
 			sysOpt := o.sysOptions()
 			sysOpt.Config = sysOpt.Config.WithGPMs(n)
-			var ratios []float64
-			for ci, c := range o.Cases {
-				m := runCase(c, s, sysOpt, o.Frames, o.Seed)
-				ratios = append(ratios, ref[ci]/m.TotalCycles)
-			}
+			ratios := make([]float64, len(o.Cases))
+			o.forEach(len(o.Cases), func(ci int) {
+				m := runCase(o.Cases[ci], s, sysOpt, o.Frames, o.Seed)
+				ratios[ci] = ref[ci] / m.TotalCycles
+			})
 			vals[ni] = stats.GeoMean(ratios)
 		}
 		fig.AddSeries(s.Name(), vals)
@@ -409,9 +412,12 @@ func TrafficBreakdown(o Options) stats.Figure {
 		Caption: "OO-VR residual inter-GPM bytes by class (fraction of scheme total)",
 		XLabels: []string{"texture", "vertex", "depth", "composition", "command"},
 	}
+	ms := make([]multigpu.Metrics, len(o.Cases))
+	o.forEach(len(o.Cases), func(ci int) {
+		ms[ci] = runCase(o.Cases[ci], core.NewOOVR(), o.sysOptions(), o.Frames, o.Seed)
+	})
 	var sums [5]float64
-	for _, c := range o.Cases {
-		m := runCase(c, core.NewOOVR(), o.sysOptions(), o.Frames, o.Seed)
+	for _, m := range ms {
 		tot := m.InterGPMBytes
 		if tot == 0 {
 			continue

@@ -1,0 +1,374 @@
+package mem
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// pageRefSystem is the seed's per-page reference implementation of the
+// memory model: every page's home is stored in a []GPMID walked on each
+// access. The analytic layout representation must produce byte-identical
+// Flows against it for every operation sequence (the configs under test use
+// dyadic RemoteCacheHitRate values, for which the per-page and per-GPM
+// orderings of the cache arithmetic are exactly equal).
+type pageRefSystem struct {
+	cfg     Config
+	pages   [][]GPMID
+	sizes   []int64
+	kinds   []SegmentKind
+	touched []map[int]bool
+	dramUse []int64
+}
+
+func newPageRef(cfg Config) *pageRefSystem {
+	touched := make([]map[int]bool, cfg.NumGPMs)
+	for i := range touched {
+		touched[i] = make(map[int]bool)
+	}
+	return &pageRefSystem{cfg: cfg, touched: touched, dramUse: make([]int64, cfg.NumGPMs)}
+}
+
+func (r *pageRefSystem) alloc(kind SegmentKind, size int64) int {
+	n := int((size + r.cfg.PageSize - 1) / r.cfg.PageSize)
+	pages := make([]GPMID, n)
+	for i := range pages {
+		pages[i] = Unplaced
+	}
+	r.pages = append(r.pages, pages)
+	r.sizes = append(r.sizes, size)
+	r.kinds = append(r.kinds, kind)
+	return len(r.pages) - 1
+}
+
+func (r *pageRefSystem) pageBytes(id, p int) int64 {
+	if p < len(r.pages[id])-1 {
+		return r.cfg.PageSize
+	}
+	rem := r.sizes[id] - int64(p)*r.cfg.PageSize
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+func (r *pageRefSystem) rehome(id, p int, g GPMID) {
+	old := r.pages[id][p]
+	if old == g {
+		return
+	}
+	size := r.pageBytes(id, p)
+	if old != Unplaced {
+		r.dramUse[old] -= size
+	}
+	r.dramUse[g] += size
+	r.pages[id][p] = g
+}
+
+func (r *pageRefSystem) place(id int, g GPMID) {
+	for p := range r.pages[id] {
+		r.rehome(id, p, g)
+	}
+}
+
+func (r *pageRefSystem) placeStriped(id int) {
+	for p := range r.pages[id] {
+		r.rehome(id, p, GPMID(p%r.cfg.NumGPMs))
+	}
+}
+
+func (r *pageRefSystem) placePartitioned(id int) {
+	n := len(r.pages[id])
+	if n == 0 {
+		return
+	}
+	per := (n + r.cfg.NumGPMs - 1) / r.cfg.NumGPMs
+	for p := range r.pages[id] {
+		r.rehome(id, p, GPMID(p/per))
+	}
+}
+
+func (r *pageRefSystem) access(gpm GPMID, id int, offset, n int64, isRead bool) Flow {
+	flow := Flow{Requester: gpm, RemoteBySrc: make([]float64, r.cfg.NumGPMs), Kind: r.kinds[id]}
+	if n == 0 {
+		return flow
+	}
+	warm := r.touched[gpm][id]
+	first := int(offset / r.cfg.PageSize)
+	last := int((offset + n - 1) / r.cfg.PageSize)
+	for p := first; p <= last; p++ {
+		pStart := int64(p) * r.cfg.PageSize
+		pEnd := pStart + r.pageBytes(id, p)
+		aStart, aEnd := offset, offset+n
+		if pStart > aStart {
+			aStart = pStart
+		}
+		if pEnd < aEnd {
+			aEnd = pEnd
+		}
+		bytes := float64(aEnd - aStart)
+		home := r.pages[id][p]
+		if home == Unplaced {
+			r.rehome(id, p, gpm)
+			home = gpm
+		}
+		if home == gpm {
+			flow.LocalBytes += bytes
+			continue
+		}
+		remote := bytes
+		if isRead && warm {
+			hit := remote * r.cfg.RemoteCacheHitRate
+			flow.LocalBytes += hit
+			remote -= hit
+		}
+		flow.RemoteBySrc[home] += remote
+	}
+	if isRead {
+		r.touched[gpm][id] = true
+	}
+	return flow
+}
+
+func (r *pageRefSystem) readProportional(gpm GPMID, id int, bytes float64) Flow {
+	flow := Flow{Requester: gpm, RemoteBySrc: make([]float64, r.cfg.NumGPMs), Kind: r.kinds[id]}
+	if bytes == 0 || r.sizes[id] == 0 {
+		return flow
+	}
+	homes := make([]int64, r.cfg.NumGPMs)
+	for p := range r.pages[id] {
+		if r.pages[id][p] == Unplaced {
+			r.rehome(id, p, gpm)
+		}
+		homes[r.pages[id][p]] += r.pageBytes(id, p)
+	}
+	for h, b := range homes {
+		if b == 0 {
+			continue
+		}
+		share := bytes * float64(b) / float64(r.sizes[id])
+		if GPMID(h) == gpm {
+			flow.LocalBytes += share
+		} else {
+			flow.RemoteBySrc[h] += share
+		}
+	}
+	return flow
+}
+
+func (r *pageRefSystem) stream(gpm GPMID, id int) Flow {
+	flow := Flow{Requester: gpm, RemoteBySrc: make([]float64, r.cfg.NumGPMs), Kind: r.kinds[id]}
+	for p := range r.pages[id] {
+		bytes := float64(r.pageBytes(id, p))
+		home := r.pages[id][p]
+		if home == Unplaced {
+			r.rehome(id, p, gpm)
+			home = gpm
+		}
+		if home == gpm {
+			flow.LocalBytes += bytes
+		} else {
+			flow.RemoteBySrc[home] += bytes
+		}
+	}
+	return flow
+}
+
+func (r *pageRefSystem) duplicate(id int, dst GPMID) Flow {
+	flow := Flow{Requester: dst, RemoteBySrc: make([]float64, r.cfg.NumGPMs), Kind: r.kinds[id]}
+	for p := range r.pages[id] {
+		bytes := float64(r.pageBytes(id, p))
+		home := r.pages[id][p]
+		if home == Unplaced || home == dst {
+			flow.LocalBytes += bytes
+		} else {
+			flow.RemoteBySrc[home] += bytes
+		}
+		r.rehome(id, p, dst)
+	}
+	r.touched[dst][id] = true
+	return flow
+}
+
+func (r *pageRefSystem) resetWarmth() {
+	for g := range r.touched {
+		r.touched[g] = make(map[int]bool)
+	}
+}
+
+func (r *pageRefSystem) homeHistogram(id int) []int64 {
+	hist := make([]int64, r.cfg.NumGPMs+1)
+	for p := range r.pages[id] {
+		home := r.pages[id][p]
+		idx := int(home)
+		if home == Unplaced {
+			idx = r.cfg.NumGPMs
+		}
+		hist[idx] += r.pageBytes(id, p)
+	}
+	return hist
+}
+
+// flowsEqual requires exact (==) equality of every field.
+func flowsEqual(a, b Flow) bool {
+	if a.Requester != b.Requester || a.Kind != b.Kind || a.LocalBytes != b.LocalBytes {
+		return false
+	}
+	if len(a.RemoteBySrc) != len(b.RemoteBySrc) {
+		return false
+	}
+	for i := range a.RemoteBySrc {
+		if a.RemoteBySrc[i] != b.RemoteBySrc[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLayoutEquivalenceProperty drives randomized operation sequences
+// against the analytic-layout System and the per-page reference, asserting
+// byte-identical Flows and final state for every operation. This is the
+// correctness gate of the layout rewrite.
+func TestLayoutEquivalenceProperty(t *testing.T) {
+	// Dyadic hit rates: exactly representable, multiplication is exact, so
+	// per-page and per-GPM cache arithmetic agree bit-for-bit.
+	rates := []float64{0, 0.25, 0.5, 1}
+	gpmCounts := []int{1, 2, 4, 7, 20} // 20 exercises the heap scratch path
+	for trial := 0; trial < 40; trial++ {
+		rate := rates[trial%len(rates)]
+		ng := gpmCounts[trial%len(gpmCounts)]
+		cfg := Config{NumGPMs: ng, PageSize: 256, RemoteCacheHitRate: rate}
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		sys := NewSystem(cfg)
+		ref := newPageRef(cfg)
+
+		sizes := []int64{0, 100, 256, 256 * 7, 256*31 + 13, 256 * 64}
+		var ids []SegmentID
+		for i, size := range sizes {
+			id := sys.Alloc(KindTexture, fmt.Sprintf("t%d", i), size)
+			rid := ref.alloc(KindTexture, size)
+			if int(id) != rid {
+				t.Fatalf("id mismatch %d vs %d", id, rid)
+			}
+			ids = append(ids, id)
+		}
+
+		for step := 0; step < 400; step++ {
+			id := ids[rng.Intn(len(ids))]
+			g := GPMID(rng.Intn(ng))
+			size := sizes[int(id)]
+			var got, want Flow
+			op := rng.Intn(10)
+			switch op {
+			case 0:
+				sys.Place(id, g)
+				ref.place(int(id), g)
+			case 1:
+				sys.PlaceStriped(id)
+				ref.placeStriped(int(id))
+			case 2:
+				sys.PlacePartitioned(id)
+				ref.placePartitioned(int(id))
+			case 3:
+				got = sys.Duplicate(id, g)
+				want = ref.duplicate(int(id), g)
+			case 4:
+				got = sys.Stream(g, id)
+				want = ref.stream(g, int(id))
+			case 5:
+				vol := float64(rng.Intn(1 << 20))
+				got = sys.ReadProportional(g, id, vol)
+				want = ref.readProportional(g, int(id), vol)
+			case 6:
+				sys.ResetWarmth()
+				ref.resetWarmth()
+			default: // reads and writes dominate the mix, as in real runs
+				var off, n int64
+				if size > 0 {
+					off = rng.Int63n(size)
+					n = rng.Int63n(size - off + 1)
+				}
+				isRead := rng.Intn(3) > 0
+				if isRead {
+					got = sys.Read(g, id, off, n)
+					want = ref.access(g, int(id), off, n, true)
+				} else {
+					got = sys.Write(g, id, off, n)
+					want = ref.access(g, int(id), off, n, false)
+				}
+			}
+			if !flowsEqual(got, want) {
+				t.Fatalf("trial %d step %d op %d (rate=%v ng=%d): flow mismatch\n got %+v\nwant %+v\nlayout=%v",
+					trial, step, op, rate, ng, got, want, sys.Segment(id).Layout())
+			}
+		}
+
+		// Final state must agree everywhere: page homes, histograms, DRAM
+		// capacity accounting, and warmth.
+		for _, id := range ids {
+			seg := sys.Segment(id)
+			for p := 0; p < seg.Pages(); p++ {
+				if seg.PageHome(p) != ref.pages[int(id)][p] {
+					t.Fatalf("trial %d: seg %d page %d home %d != ref %d (layout=%v)",
+						trial, id, p, seg.PageHome(p), ref.pages[int(id)][p], seg.Layout())
+				}
+			}
+			gotHist := sys.HomeHistogram(id)
+			wantHist := ref.homeHistogram(int(id))
+			for i := range wantHist {
+				if gotHist[i] != wantHist[i] {
+					t.Fatalf("trial %d: seg %d hist[%d] = %d, want %d", trial, id, i, gotHist[i], wantHist[i])
+				}
+			}
+			for g := 0; g < ng; g++ {
+				if sys.Touched(GPMID(g), id) != ref.touched[g][int(id)] {
+					t.Fatalf("trial %d: seg %d touched[%d] mismatch", trial, id, g)
+				}
+			}
+		}
+		for g := 0; g < ng; g++ {
+			if sys.DRAMUsed(GPMID(g)) != ref.dramUse[g] {
+				t.Fatalf("trial %d: DRAMUsed(%d) = %d, want %d", trial, g, sys.DRAMUsed(GPMID(g)), ref.dramUse[g])
+			}
+		}
+	}
+}
+
+// TestAnalyticLayoutsStayAnalytic pins the perf contract: the placements
+// the schedulers use must not degrade to the explicit per-page fallback.
+func TestAnalyticLayoutsStayAnalytic(t *testing.T) {
+	s := NewSystem(Config{NumGPMs: 4, PageSize: 4096, RemoteCacheHitRate: 0.5})
+	id := s.Alloc(KindTexture, "tex", 4096*1000)
+	if got := s.Segment(id).Layout(); got != LayoutUniform {
+		t.Fatalf("fresh segment layout = %v", got)
+	}
+	s.PlaceStriped(id)
+	s.Read(1, id, 123, 4096*700)
+	s.ReadProportional(2, id, 1e9)
+	if got := s.Segment(id).Layout(); got != LayoutStriped {
+		t.Fatalf("layout after striped reads = %v, want striped", got)
+	}
+	s.PlacePartitioned(id)
+	s.Read(3, id, 4096*200, 4096*600)
+	if got := s.Segment(id).Layout(); got != LayoutPartitioned {
+		t.Fatalf("layout after partitioned reads = %v, want partitioned", got)
+	}
+	s.Place(id, 2)
+	s.Stream(0, id)
+	s.Duplicate(id, 3)
+	if got := s.Segment(id).Layout(); got != LayoutUniform {
+		t.Fatalf("layout after place/duplicate = %v, want uniform", got)
+	}
+	// Whole-segment first touch of a fresh segment stays uniform...
+	ft := s.Alloc(KindTexture, "ft", 4096*10)
+	s.Read(1, ft, 0, 4096*10)
+	if got := s.Segment(ft).Layout(); got != LayoutUniform {
+		t.Fatalf("layout after full first touch = %v, want uniform", got)
+	}
+	// ...while a partial first touch degrades to the explicit fallback.
+	part := s.Alloc(KindTexture, "part", 4096*10)
+	s.Read(1, part, 0, 4096)
+	if got := s.Segment(part).Layout(); got != LayoutExplicit {
+		t.Fatalf("layout after partial first touch = %v, want explicit", got)
+	}
+}

@@ -9,12 +9,38 @@
 // partition, a command stream). Segments are divided into pages; each page
 // has a home GPM assigned on first touch or by explicit placement (the
 // OO-VR pre-allocation units use explicit placement, Section 5.2).
+//
+// # Placement layouts
+//
+// Every placement the simulator's schedulers produce is one of four
+// layouts, so a segment stores a layout descriptor instead of a per-page
+// home array:
+//
+//   - LayoutUniform: every page homed on one GPM (Place, Duplicate, and
+//     a fresh allocation, whose shared home is Unplaced);
+//   - LayoutStriped: page i homed on GPM i mod N (PlaceStriped);
+//   - LayoutPartitioned: N contiguous 1/N shares (PlacePartitioned);
+//   - LayoutExplicit: an arbitrary per-page home array, the fallback that
+//     partial first-touch placement degrades to.
+//
+// For the first three, the local/remote byte split of any [offset, n)
+// range is computed in closed form — O(NumGPMs) arithmetic with zero page
+// iteration — and the Place* family are O(NumGPMs) layout swaps. Each
+// segment also caches its home histogram (bytes per GPM), updated
+// incrementally on every rehome, so ReadProportional, Duplicate, Stream
+// and HomeHistogram never rescan pages.
+//
+// All byte counts are integers, accumulated in int64 and converted to
+// float64 once per GPM, so the closed forms produce Flows byte-identical
+// to summing the per-page contributions (integer sums below 2^53 are exact
+// in float64). The remote-cache scaling is applied once per source GPM
+// instead of once per page; for dyadic hit rates (0.5 is the paper's
+// value) the two orders are exactly equal. DESIGN.md §"Memory-model
+// layouts" states the equivalence guarantee; layout_test.go proves it
+// against a per-page reference implementation.
 package mem
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // GPMID identifies a GPU module. GPMs are numbered 0..N-1.
 type GPMID int
@@ -62,20 +88,82 @@ func (k SegmentKind) String() string {
 	}
 }
 
+// Layout identifies how a segment's pages map to home GPMs.
+type Layout int
+
+const (
+	// LayoutUniform homes every page on one GPM (Unplaced for a fresh
+	// allocation).
+	LayoutUniform Layout = iota
+	// LayoutStriped homes page i on GPM i mod NumGPMs.
+	LayoutStriped
+	// LayoutPartitioned splits the pages into NumGPMs contiguous shares.
+	LayoutPartitioned
+	// LayoutExplicit stores an arbitrary per-page home array.
+	LayoutExplicit
+)
+
+// String returns the layout's short name.
+func (l Layout) String() string {
+	switch l {
+	case LayoutUniform:
+		return "uniform"
+	case LayoutStriped:
+		return "striped"
+	case LayoutPartitioned:
+		return "partitioned"
+	case LayoutExplicit:
+		return "explicit"
+	default:
+		return fmt.Sprintf("layout(%d)", int(l))
+	}
+}
+
 // Segment is one allocation.
 type Segment struct {
-	ID    SegmentID
-	Kind  SegmentKind
-	Name  string
-	Size  int64
-	pages []GPMID // home of each page
+	ID   SegmentID
+	Kind SegmentKind
+	Name string
+	Size int64
+
+	nPages int
+	layout Layout
+	home   GPMID   // LayoutUniform: the shared home (may be Unplaced)
+	pages  []GPMID // LayoutExplicit only
+	// hist caches how many bytes are homed per GPM; index numGPMs holds
+	// unplaced bytes. It is kept in sync by every placement operation.
+	hist []int64
 }
 
 // Pages returns the number of pages in the segment.
-func (s *Segment) Pages() int { return len(s.pages) }
+func (s *Segment) Pages() int { return s.nPages }
+
+// Layout returns the segment's current placement layout.
+func (s *Segment) Layout() Layout { return s.layout }
+
+// numGPMs recovers the GPM count from the cached histogram.
+func (s *Segment) numGPMs() int { return len(s.hist) - 1 }
+
+// pagesPerPartition returns the ceil(nPages/N) partition stride of the
+// partitioned layout.
+func (s *Segment) pagesPerPartition() int {
+	n := s.numGPMs()
+	return (s.nPages + n - 1) / n
+}
 
 // PageHome returns the home GPM of page i (Unplaced if not yet placed).
-func (s *Segment) PageHome(i int) GPMID { return s.pages[i] }
+func (s *Segment) PageHome(i int) GPMID {
+	switch s.layout {
+	case LayoutUniform:
+		return s.home
+	case LayoutStriped:
+		return GPMID(i % s.numGPMs())
+	case LayoutPartitioned:
+		return GPMID(i / s.pagesPerPartition())
+	default:
+		return s.pages[i]
+	}
+}
 
 // Config parameterizes the memory system.
 type Config struct {
@@ -118,9 +206,11 @@ func (f Flow) RemoteTotal() float64 {
 type System struct {
 	cfg      Config
 	segments []*Segment
-	// touched[gpm] marks segments this GPM has already read once, which is
-	// what arms the remote cache for subsequent reads.
-	touched []map[SegmentID]bool
+	// touched[gpm][seg] holds the warmth epoch at which the GPM last read
+	// the segment; matching the current epoch means the remote cache is
+	// armed. ResetWarmth bumps the epoch instead of clearing per-GPM maps.
+	touched [][]uint64
+	epoch   uint64
 	traffic *Traffic
 	dramUse []int64 // bytes homed per GPM (capacity accounting)
 }
@@ -136,13 +226,10 @@ func NewSystem(cfg Config) *System {
 	if cfg.RemoteCacheHitRate < 0 || cfg.RemoteCacheHitRate > 1 {
 		panic("mem: RemoteCacheHitRate must be in [0,1]")
 	}
-	touched := make([]map[SegmentID]bool, cfg.NumGPMs)
-	for i := range touched {
-		touched[i] = make(map[SegmentID]bool)
-	}
 	return &System{
 		cfg:     cfg,
-		touched: touched,
+		touched: make([][]uint64, cfg.NumGPMs),
+		epoch:   1,
 		traffic: NewTraffic(cfg.NumGPMs),
 		dramUse: make([]int64, cfg.NumGPMs),
 	}
@@ -157,18 +244,24 @@ func (s *System) NumGPMs() int { return s.cfg.NumGPMs }
 // Traffic returns the accumulated traffic accounting.
 func (s *System) Traffic() *Traffic { return s.traffic }
 
-// Alloc creates a new unplaced segment of the given size.
+// Alloc creates a new unplaced segment of the given size. Allocation is
+// O(NumGPMs): no per-page state exists until a mixed placement forces the
+// explicit fallback.
 func (s *System) Alloc(kind SegmentKind, name string, size int64) SegmentID {
 	if size < 0 {
 		panic(fmt.Sprintf("mem: negative size %d for %q", size, name))
 	}
 	nPages := int((size + s.cfg.PageSize - 1) / s.cfg.PageSize)
-	pages := make([]GPMID, nPages)
-	for i := range pages {
-		pages[i] = Unplaced
-	}
 	id := SegmentID(len(s.segments))
-	s.segments = append(s.segments, &Segment{ID: id, Kind: kind, Name: name, Size: size, pages: pages})
+	hist := make([]int64, s.cfg.NumGPMs+1)
+	hist[s.cfg.NumGPMs] = size
+	s.segments = append(s.segments, &Segment{
+		ID: id, Kind: kind, Name: name, Size: size,
+		nPages: nPages, layout: LayoutUniform, home: Unplaced, hist: hist,
+	})
+	for g := range s.touched {
+		s.touched[g] = append(s.touched[g], 0)
+	}
 	return id
 }
 
@@ -182,56 +275,209 @@ func (s *System) NumSegments() int { return len(s.segments) }
 
 // Place assigns every page of the segment to the given GPM, overriding any
 // previous placement. This models both the initial striped placement of the
-// framebuffer and the OO-VR PA units' pre-allocation.
+// framebuffer and the OO-VR PA units' pre-allocation. O(NumGPMs).
 func (s *System) Place(id SegmentID, gpm GPMID) {
 	s.checkGPM(gpm)
-	seg := s.Segment(id)
-	for i := range seg.pages {
-		s.rehome(seg, i, gpm)
-	}
+	s.setUniform(s.Segment(id), gpm)
 }
 
 // PlaceStriped distributes the segment's pages round-robin across all GPMs,
-// the paper's baseline address mapping for shared surfaces.
+// the paper's baseline address mapping for shared surfaces. O(NumGPMs).
 func (s *System) PlaceStriped(id SegmentID) {
 	seg := s.Segment(id)
-	for i := range seg.pages {
-		s.rehome(seg, i, GPMID(i%s.cfg.NumGPMs))
-	}
+	var stack [maxStackGPMs + 1]int64
+	hist := s.scratch(stack[:])
+	s.stripedFullHist(seg, hist)
+	s.swapLayout(seg, LayoutStriped, Unplaced, hist)
 }
 
 // PlacePartitioned splits the segment into NumGPMs contiguous ranges, one
 // per GPM, the placement the distributed hardware composition unit uses for
-// the framebuffer (Section 5.3, Figure 14).
+// the framebuffer (Section 5.3, Figure 14). O(NumGPMs).
 func (s *System) PlacePartitioned(id SegmentID) {
 	seg := s.Segment(id)
-	n := len(seg.pages)
-	if n == 0 {
+	if seg.nPages == 0 {
 		return
 	}
-	per := (n + s.cfg.NumGPMs - 1) / s.cfg.NumGPMs
-	for i := range seg.pages {
-		s.rehome(seg, i, GPMID(i/per))
+	var stack [maxStackGPMs + 1]int64
+	hist := s.scratch(stack[:])
+	s.partitionedFullHist(seg, hist)
+	s.swapLayout(seg, LayoutPartitioned, Unplaced, hist)
+}
+
+// maxStackGPMs bounds the GPM count served by stack-allocated histogram
+// scratch space; larger systems fall back to heap scratch.
+const maxStackGPMs = 16
+
+// scratch returns a zeroed histogram of len NumGPMs+1, using the caller's
+// stack array when it fits.
+func (s *System) scratch(stack []int64) []int64 {
+	n := s.cfg.NumGPMs + 1
+	if n > len(stack) {
+		return make([]int64, n)
+	}
+	h := stack[:n]
+	for i := range h {
+		h[i] = 0
+	}
+	return h
+}
+
+// setUniform swaps the segment to LayoutUniform(gpm).
+func (s *System) setUniform(seg *Segment, gpm GPMID) {
+	var hist [maxStackGPMs + 1]int64
+	h := s.scratch(hist[:])
+	h[gpm] = seg.Size
+	s.swapLayout(seg, LayoutUniform, gpm, h)
+}
+
+// swapLayout installs a new layout whose full home histogram is hist,
+// updating the per-GPM DRAM capacity accounting by the histogram delta.
+func (s *System) swapLayout(seg *Segment, layout Layout, home GPMID, hist []int64) {
+	for g := 0; g < s.cfg.NumGPMs; g++ {
+		s.dramUse[g] += hist[g] - seg.hist[g]
+	}
+	copy(seg.hist, hist)
+	seg.layout = layout
+	seg.home = home
+	seg.pages = nil
+}
+
+// stripedFullHist writes the whole-segment home histogram of the striped
+// layout into hist.
+func (s *System) stripedFullHist(seg *Segment, hist []int64) {
+	if seg.nPages == 0 {
+		return
+	}
+	n := s.cfg.NumGPMs
+	for g := 0; g < n; g++ {
+		hist[g] = stripedPageCount(0, seg.nPages, n, g) * s.cfg.PageSize
+	}
+	// The final page may be partial; correct its home's full-page count.
+	last := seg.nPages - 1
+	hist[last%n] += s.pageBytes(seg, last) - s.cfg.PageSize
+}
+
+// partitionedFullHist writes the whole-segment home histogram of the
+// partitioned layout into hist.
+func (s *System) partitionedFullHist(seg *Segment, hist []int64) {
+	s.partitionedRangeHist(seg, 0, seg.Size, hist)
+}
+
+// stripedPageCount returns how many pages p in [p0, p1) satisfy
+// p mod n == g.
+func stripedPageCount(p0, p1, n, g int) int64 {
+	upTo := func(m int) int64 {
+		if m <= g {
+			return 0
+		}
+		return int64((m - g + n - 1) / n)
+	}
+	return upTo(p1) - upTo(p0)
+}
+
+// stripedRangeHist accumulates into hist the per-GPM byte counts of the
+// access range [offset, offset+n) under the striped layout.
+func (s *System) stripedRangeHist(seg *Segment, offset, n int64, hist []int64) {
+	p := s.cfg.PageSize
+	ng := s.cfg.NumGPMs
+	first := int(offset / p)
+	last := int((offset + n - 1) / p)
+	if first == last {
+		hist[first%ng] += n
+		return
+	}
+	// First page: offset to the page end (pages before the final one are
+	// always full). Last page: page start to the access end.
+	hist[first%ng] += int64(first+1)*p - offset
+	hist[last%ng] += offset + n - int64(last)*p
+	for g := 0; g < ng; g++ {
+		hist[g] += stripedPageCount(first+1, last, ng, g) * p
 	}
 }
 
-func (s *System) rehome(seg *Segment, page int, gpm GPMID) {
+// partitionedRangeHist accumulates into hist the per-GPM byte counts of the
+// access range [offset, offset+n) under the partitioned layout. GPM g's
+// contiguous pages cover one byte interval, so this is N interval overlaps.
+func (s *System) partitionedRangeHist(seg *Segment, offset, n int64, hist []int64) {
+	per := int64(seg.pagesPerPartition()) * s.cfg.PageSize
+	aEnd := offset + n
+	for g := 0; g < s.cfg.NumGPMs; g++ {
+		lo, hi := int64(g)*per, int64(g+1)*per
+		if lo < offset {
+			lo = offset
+		}
+		if hi > aEnd {
+			hi = aEnd
+		}
+		if hi > lo {
+			hist[g] += hi - lo
+		}
+	}
+}
+
+// materialize degrades the segment to the explicit per-page representation.
+func (s *System) materialize(seg *Segment) {
+	if seg.layout == LayoutExplicit {
+		return
+	}
+	pages := make([]GPMID, seg.nPages)
+	for i := range pages {
+		pages[i] = seg.PageHome(i)
+	}
+	seg.pages = pages
+	seg.layout = LayoutExplicit
+	seg.home = Unplaced
+}
+
+// rehomeExplicit moves one page of an explicit-layout segment, keeping the
+// cached histogram and DRAM accounting in sync.
+func (s *System) rehomeExplicit(seg *Segment, page int, gpm GPMID) {
 	old := seg.pages[page]
 	if old == gpm {
 		return
 	}
 	size := s.pageBytes(seg, page)
-	if old != Unplaced {
+	if old == Unplaced {
+		seg.hist[s.cfg.NumGPMs] -= size
+	} else {
+		seg.hist[old] -= size
 		s.dramUse[old] -= size
 	}
+	seg.hist[gpm] += size
 	s.dramUse[gpm] += size
 	seg.pages[page] = gpm
+}
+
+// explicitRangeHist accumulates into hist the per-GPM byte counts of the
+// access range [offset, offset+n) under the explicit layout, first-touch
+// placing unplaced pages on gpm. This is the only per-page access path.
+func (s *System) explicitRangeHist(seg *Segment, gpm GPMID, offset, n int64, hist []int64) {
+	first := int(offset / s.cfg.PageSize)
+	last := int((offset + n - 1) / s.cfg.PageSize)
+	for p := first; p <= last; p++ {
+		pStart := int64(p) * s.cfg.PageSize
+		pEnd := pStart + s.pageBytes(seg, p)
+		aStart, aEnd := offset, offset+n
+		if pStart > aStart {
+			aStart = pStart
+		}
+		if pEnd < aEnd {
+			aEnd = pEnd
+		}
+		home := seg.pages[p]
+		if home == Unplaced {
+			s.rehomeExplicit(seg, p, gpm)
+			home = gpm
+		}
+		hist[home] += aEnd - aStart
+	}
 }
 
 // pageBytes returns the byte size of the given page (the last page may be
 // partial).
 func (s *System) pageBytes(seg *Segment, page int) int64 {
-	if page < len(seg.pages)-1 {
+	if page < seg.nPages-1 {
 		return s.cfg.PageSize
 	}
 	rem := seg.Size - int64(page)*s.cfg.PageSize
@@ -245,6 +491,13 @@ func (s *System) pageBytes(seg *Segment, page int) int64 {
 func (s *System) DRAMUsed(gpm GPMID) int64 {
 	s.checkGPM(gpm)
 	return s.dramUse[gpm]
+}
+
+// HomedBytes returns how many bytes of the segment are homed on the GPM,
+// without allocating (the histogram is cached).
+func (s *System) HomedBytes(id SegmentID, gpm GPMID) int64 {
+	s.checkGPM(gpm)
+	return s.Segment(id).hist[gpm]
 }
 
 // Read models gpm reading n bytes starting at offset within the segment.
@@ -283,28 +536,41 @@ func (s *System) access(gpm GPMID, id SegmentID, offset, n int64, isRead bool) F
 	if n == 0 {
 		return flow
 	}
-	warm := s.touched[gpm][id]
-	first := int(offset / s.cfg.PageSize)
-	last := int((offset + n - 1) / s.cfg.PageSize)
-	for p := first; p <= last; p++ {
-		// Bytes of this access that land on page p.
-		pStart := int64(p) * s.cfg.PageSize
-		pEnd := pStart + s.pageBytes(seg, p)
-		aStart, aEnd := offset, offset+n
-		if pStart > aStart {
-			aStart = pStart
+	warm := s.Touched(gpm, id)
+
+	// Split the range's bytes by home GPM — closed form for the analytic
+	// layouts, page iteration only in the explicit fallback.
+	var stack [maxStackGPMs + 1]int64
+	hist := s.scratch(stack[:])
+	switch seg.layout {
+	case LayoutUniform:
+		if seg.home == Unplaced {
+			if offset < s.cfg.PageSize && offset+n > int64(seg.nPages-1)*s.cfg.PageSize {
+				// The access touches every page of a fresh segment: first
+				// touch homes the whole segment on the requester at once.
+				s.setUniform(seg, gpm)
+				hist[gpm] = n
+			} else {
+				s.materialize(seg)
+				s.explicitRangeHist(seg, gpm, offset, n, hist)
+			}
+		} else {
+			hist[seg.home] = n
 		}
-		if pEnd < aEnd {
-			aEnd = pEnd
+	case LayoutStriped:
+		s.stripedRangeHist(seg, offset, n, hist)
+	case LayoutPartitioned:
+		s.partitionedRangeHist(seg, offset, n, hist)
+	default:
+		s.explicitRangeHist(seg, gpm, offset, n, hist)
+	}
+
+	for h := 0; h < s.cfg.NumGPMs; h++ {
+		bytes := float64(hist[h])
+		if bytes == 0 {
+			continue
 		}
-		bytes := float64(aEnd - aStart)
-		home := seg.pages[p]
-		if home == Unplaced {
-			// First touch: the requester becomes the home.
-			s.rehome(seg, p, gpm)
-			home = gpm
-		}
-		if home == gpm {
+		if GPMID(h) == gpm {
 			flow.LocalBytes += bytes
 			continue
 		}
@@ -314,10 +580,10 @@ func (s *System) access(gpm GPMID, id SegmentID, offset, n int64, isRead bool) F
 			flow.LocalBytes += hit // served from the local remote-cache copy
 			remote -= hit
 		}
-		flow.RemoteBySrc[home] += remote
+		flow.RemoteBySrc[h] += remote
 	}
 	if isRead {
-		s.touched[gpm][id] = true
+		s.touched[gpm][id] = s.epoch
 	}
 	s.traffic.Record(flow)
 	return flow
@@ -343,24 +609,10 @@ func (s *System) ReadProportional(gpm GPMID, id SegmentID, bytes float64) Flow {
 		return flow
 	}
 	// Place any unplaced pages on the requester first (FT), then split the
-	// volume by home byte shares.
-	var homed [16]int64 // stack space for the common small-N case
-	homes := homed[:0]
-	if s.cfg.NumGPMs > len(homed) {
-		homes = make([]int64, s.cfg.NumGPMs)
-	} else {
-		homes = homed[:s.cfg.NumGPMs]
-		for i := range homes {
-			homes[i] = 0
-		}
-	}
-	for p := range seg.pages {
-		if seg.pages[p] == Unplaced {
-			s.rehome(seg, p, gpm)
-		}
-		homes[seg.pages[p]] += s.pageBytes(seg, p)
-	}
-	for h, b := range homes {
+	// volume by the cached home byte shares.
+	s.firstTouchAll(seg, gpm)
+	for h := 0; h < s.cfg.NumGPMs; h++ {
+		b := seg.hist[h]
 		if b == 0 {
 			continue
 		}
@@ -375,6 +627,22 @@ func (s *System) ReadProportional(gpm GPMID, id SegmentID, bytes float64) Flow {
 	return flow
 }
 
+// firstTouchAll homes every still-unplaced page of the segment on gpm.
+func (s *System) firstTouchAll(seg *Segment, gpm GPMID) {
+	if seg.hist[s.cfg.NumGPMs] == 0 {
+		return
+	}
+	if seg.layout == LayoutUniform { // home must be Unplaced: nothing is placed
+		s.setUniform(seg, gpm)
+		return
+	}
+	for p := range seg.pages {
+		if seg.pages[p] == Unplaced {
+			s.rehomeExplicit(seg, p, gpm)
+		}
+	}
+}
+
 // Stream models a bulk copy-out of the whole segment by the given GPM: the
 // transfer engine reads every byte from the page homes without the benefit
 // of the remote cache (bulk streams blow through it) and without arming it.
@@ -384,17 +652,16 @@ func (s *System) Stream(gpm GPMID, id SegmentID) Flow {
 	s.checkGPM(gpm)
 	seg := s.Segment(id)
 	flow := Flow{Requester: gpm, RemoteBySrc: make([]float64, s.cfg.NumGPMs), Kind: seg.Kind}
-	for p := range seg.pages {
-		bytes := float64(s.pageBytes(seg, p))
-		home := seg.pages[p]
-		if home == Unplaced {
-			s.rehome(seg, p, gpm)
-			home = gpm
+	s.firstTouchAll(seg, gpm)
+	for h := 0; h < s.cfg.NumGPMs; h++ {
+		bytes := float64(seg.hist[h])
+		if bytes == 0 {
+			continue
 		}
-		if home == gpm {
+		if GPMID(h) == gpm {
 			flow.LocalBytes += bytes
 		} else {
-			flow.RemoteBySrc[home] += bytes
+			flow.RemoteBySrc[h] += bytes
 		}
 	}
 	s.traffic.Record(flow)
@@ -409,17 +676,14 @@ func (s *System) Duplicate(id SegmentID, dst GPMID) Flow {
 	s.checkGPM(dst)
 	seg := s.Segment(id)
 	flow := Flow{Requester: dst, RemoteBySrc: make([]float64, s.cfg.NumGPMs), Kind: seg.Kind}
-	for p := range seg.pages {
-		bytes := float64(s.pageBytes(seg, p))
-		home := seg.pages[p]
-		if home == Unplaced || home == dst {
-			flow.LocalBytes += bytes
-		} else {
-			flow.RemoteBySrc[home] += bytes
+	flow.LocalBytes = float64(seg.hist[dst] + seg.hist[s.cfg.NumGPMs])
+	for h := 0; h < s.cfg.NumGPMs; h++ {
+		if GPMID(h) != dst && seg.hist[h] != 0 {
+			flow.RemoteBySrc[h] = float64(seg.hist[h])
 		}
-		s.rehome(seg, p, dst)
 	}
-	s.touched[dst][id] = true
+	s.setUniform(seg, dst)
+	s.touched[dst][id] = s.epoch
 	s.traffic.Record(flow)
 	return flow
 }
@@ -428,37 +692,27 @@ func (s *System) Duplicate(id SegmentID, dst GPMID) Flow {
 // frame boundary (the per-GPM L2 is far smaller than a frame's streaming
 // working set), so schedulers call this at frame start and every texture is
 // re-streamed cold each frame — the steady-state behaviour of a real GPU.
+// Bumping the warmth epoch invalidates all entries in O(1).
 func (s *System) ResetWarmth() {
-	for g := range s.touched {
-		s.touched[g] = make(map[SegmentID]bool)
-	}
+	s.epoch++
 }
 
 // Touched reports whether the GPM has read the segment before (remote cache
 // warm).
 func (s *System) Touched(gpm GPMID, id SegmentID) bool {
 	s.checkGPM(gpm)
-	return s.touched[gpm][id]
+	return s.touched[gpm][id] == s.epoch
 }
 
 // HomeHistogram returns, for the given segment, how many bytes are homed on
 // each GPM (index NumGPMs holds unplaced bytes).
 func (s *System) HomeHistogram(id SegmentID) []int64 {
-	seg := s.Segment(id)
-	hist := make([]int64, s.cfg.NumGPMs+1)
-	for p := range seg.pages {
-		home := seg.pages[p]
-		idx := int(home)
-		if home == Unplaced {
-			idx = s.cfg.NumGPMs
-		}
-		hist[idx] += s.pageBytes(seg, p)
-	}
-	return hist
+	return append([]int64(nil), s.Segment(id).hist...)
 }
 
 // SegmentsByKind returns the ids of all segments with the given kind, in
-// allocation order.
+// allocation order (segments are appended in id order, so no sort is
+// needed).
 func (s *System) SegmentsByKind(kind SegmentKind) []SegmentID {
 	var out []SegmentID
 	for _, seg := range s.segments {
@@ -466,7 +720,6 @@ func (s *System) SegmentsByKind(kind SegmentKind) []SegmentID {
 			out = append(out, seg.ID)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -11,6 +11,7 @@ package multigpu
 
 import (
 	"fmt"
+	"sort"
 
 	"oovr/internal/gpu"
 	"oovr/internal/link"
@@ -386,9 +387,17 @@ func (s *System) Run(g mem.GPMID, task Task) sim.Time {
 			vb := s.vertexSegment(g, &task, p.Object.Index)
 			budget[vb] = float64(s.Mem.Segment(vb).Size)
 		}
+		// Reserve in segment-id order: budget is a map, and FIFO resources
+		// book reservations in arrival order, so iterating in map order
+		// would make the run's timings depend on Go's map randomization.
+		ids := make([]mem.SegmentID, 0, len(budget))
+		for orig := range budget {
+			ids = append(ids, orig)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		shipEnd := start
-		for orig, b := range budget {
-			shipMap[orig] = s.ship(g, orig, b, task.ShipPersistent, start, &shipEnd)
+		for _, orig := range ids {
+			shipMap[orig] = s.ship(g, orig, budget[orig], task.ShipPersistent, start, &shipEnd)
 		}
 		if !task.Prefetch {
 			start = shipEnd
@@ -543,8 +552,7 @@ func (s *System) ship(g mem.GPMID, orig mem.SegmentID, budget float64, persisten
 
 // fullyHomedAt reports whether every byte of the segment lives on g.
 func (s *System) fullyHomedAt(seg mem.SegmentID, g mem.GPMID) bool {
-	hist := s.Mem.HomeHistogram(seg)
-	return hist[g] == s.Mem.Segment(seg).Size
+	return s.Mem.HomedBytes(seg, g) == s.Mem.Segment(seg).Size
 }
 
 // partitionRange clamps an access of length ln into GPM g's 1/N contiguous

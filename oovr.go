@@ -192,7 +192,10 @@ type (
 )
 
 // Experiment functions, one per paper table/figure. See EXPERIMENTS.md for
-// a full archived run and the paper-vs-measured comparison.
+// a full archived run and the paper-vs-measured comparison. Set
+// ExperimentOptions.Parallel to spread a run's independent simulation
+// cases across worker goroutines; any value produces output identical to
+// a serial run (DESIGN.md §5).
 var (
 	SMPValidation       = experiments.E0SMPValidation
 	Figure4             = experiments.F4Bandwidth

@@ -1,0 +1,43 @@
+#!/bin/sh
+# bench.sh — archive a perf snapshot as BENCH_<date>.json so successive
+# PRs have a benchmark trajectory to compare against.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 3x)
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-3x}"
+out="BENCH_$(date +%Y-%m-%d).json"
+
+raw=$(go test -run '^$' -bench . -benchtime "$benchtime" .)
+
+printf '%s\n' "$raw" | awk -v benchtime="$benchtime" '
+BEGIN {
+    printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", benchtime
+    n = 0
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, $3
+    # Custom metrics come as value/unit pairs after ns/op.
+    for (i = 5; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/"/, "", unit)
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+}
+/^(goos|goarch|pkg|cpu):/ {
+    key = $1; sub(/:$/, "", key)
+    meta[key] = $2
+    for (j = 3; j <= NF; j++) meta[key] = meta[key] " " $j
+}
+END {
+    printf "\n  ],\n"
+    printf "  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\"\n}\n",
+        meta["goos"], meta["goarch"], meta["cpu"]
+}' > "$out"
+
+echo "wrote $out"
