@@ -21,12 +21,13 @@ import (
 	"sync"
 
 	"oovr/internal/core"
+	"oovr/internal/driver"
 	"oovr/internal/multigpu"
 	"oovr/internal/render"
 	"oovr/internal/workload"
 )
 
-func schedulerByName(name string) (render.Scheduler, bool) {
+func schedulerByName(name string) (driver.Planner, bool) {
 	switch strings.ToLower(name) {
 	case "baseline":
 		return render.Baseline{}, true
@@ -71,10 +72,19 @@ func main() {
 	opt := multigpu.DefaultOptions()
 	opt.Config = opt.Config.WithGPMs(*gpms).WithLinkGBs(*linkGBs)
 
-	run := func(s render.Scheduler) multigpu.Metrics {
-		sc := c.Spec.Generate(c.Width, c.Height, *frames, *seed)
-		sys := multigpu.New(opt, sc)
-		return s.Render(sys)
+	run := func(p driver.Planner) multigpu.Metrics {
+		// Frames stream through a driver session exactly as a serving
+		// system would feed them; the result is identical to batch mode.
+		st := c.Spec.Stream(c.Width, c.Height, *frames, *seed)
+		ses := driver.Open(multigpu.New(opt, st.Header()), p)
+		for {
+			f, ok := st.Next()
+			if !ok {
+				break
+			}
+			ses.SubmitFrame(f)
+		}
+		return ses.Close()
 	}
 
 	if *all {
@@ -91,7 +101,7 @@ func main() {
 		for i, n := range names {
 			s, _ := schedulerByName(n)
 			wg.Add(1)
-			go func(i int, s render.Scheduler) {
+			go func(i int, s driver.Planner) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()

@@ -1,12 +1,16 @@
-// Custom scheduler: the simulator's Scheduler interface is open — this
+// Custom scheduler: the simulator's Planner contract is open — this
 // example implements a *fragment-greedy* object distributor (longest-
 // processing-time-first over per-object fragment counts, views merged with
-// SMP) and races it against round-robin object-level SFR and OO-VR.
+// SMP) as a pure-policy planner and races it against round-robin
+// object-level SFR and OO-VR.
 //
 // It demonstrates the extension surface a systems researcher would use to
-// prototype a new distribution policy on the NUMA multi-GPU model, and it
-// shows why OO-VR still wins: greedy balancing fixes load imbalance but
-// does nothing for texture-sharing locality.
+// prototype a new distribution policy on the NUMA multi-GPU model: the
+// policy only decides *what renders where and how the frame composes*; the
+// frame driver owns execution, so the same policy also works against a
+// streamed frame source (see examples/streaming). And it shows why OO-VR
+// still wins: greedy balancing fixes load imbalance but does nothing for
+// texture-sharing locality.
 package main
 
 import (
@@ -23,17 +27,15 @@ import (
 // approximate.
 type GreedyFragments struct{}
 
-// Name implements oovr.Scheduler.
+// Name implements oovr.Planner.
 func (GreedyFragments) Name() string { return "Greedy-LPT" }
 
-// Render implements oovr.Scheduler.
-func (GreedyFragments) Render(sys *oovr.System) oovr.Metrics {
-	sc := sys.Scene()
+// Begin implements oovr.Planner: the policy emits one Plan per frame —
+// task submissions plus master-node composition — and never touches the
+// frame lifecycle itself.
+func (GreedyFragments) Begin(sys *oovr.System) (oovr.FramePlanner, oovr.Profile) {
 	n := sys.NumGPMs()
-	for fi := range sc.Frames {
-		sys.BeginFrame()
-		f := &sc.Frames[fi]
-
+	return oovr.PlanFunc(func(f *oovr.Frame, fi int) oovr.Plan {
 		// Sort object indices by fragment weight, heaviest first.
 		order := make([]int, len(f.Objects))
 		for i := range order {
@@ -62,32 +64,31 @@ func (GreedyFragments) Render(sys *oovr.System) oovr.Metrics {
 				Object: o, Mode: oovr.ModeBothSMP, GeomFrac: 1, FragFrac: 1,
 			})
 		}
+		plan := oovr.Plan{Framebuffer: oovr.FBRoot, Root: 0, Compose: oovr.ComposeRoot}
 		for g := 0; g < n; g++ {
 			if len(tasks[g].Parts) > 0 {
-				sys.Run(oovr.GPMID(g), tasks[g])
+				plan.Submissions = append(plan.Submissions, oovr.Submission{GPM: oovr.GPMID(g), Task: tasks[g]})
 			}
 		}
-		sys.ComposeToRoot(0)
-		sys.EndFrame()
-	}
-	return sys.Collect(GreedyFragments{}.Name())
+		return plan
+	}), oovr.Profile{}
 }
 
 func main() {
 	spec, _ := oovr.BenchmarkByAbbr("DM3")
-	run := func(s oovr.Scheduler) oovr.Metrics {
+	run := func(p oovr.Planner) oovr.Metrics {
 		scene := spec.Generate(1280, 1024, 4, 1)
-		return s.Render(oovr.NewSystem(oovr.DefaultOptions(), scene))
+		return oovr.Run(oovr.NewSystem(oovr.DefaultOptions(), scene), p)
 	}
 
 	fmt.Println("DM3 1280x1024, 4 GPMs — custom scheduler shoot-out")
 	fmt.Printf("%-14s %14s %14s %12s\n", "scheme", "cycles/frame", "inter-GPM MB", "busy ratio")
-	for _, s := range []oovr.Scheduler{
+	for _, p := range []oovr.Planner{
 		oovr.ObjectSFR{},
 		GreedyFragments{},
 		oovr.NewOOVR(),
 	} {
-		m := run(s)
+		m := run(p)
 		fmt.Printf("%-14s %14.0f %14.1f %12.2f\n",
 			m.Scheme, m.FPSCycles(), m.InterGPMBytes/1e6, m.BestToWorstBusyRatio())
 	}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"oovr/internal/driver"
 	"oovr/internal/mem"
 	"oovr/internal/multigpu"
 	"oovr/internal/pipeline"
+	"oovr/internal/scene"
 	"oovr/internal/sim"
 )
 
@@ -26,17 +28,22 @@ type OOApp struct {
 // NewOOApp returns the OO_APP design point with the paper's constants.
 func NewOOApp() OOApp { return OOApp{Middleware: NewMiddleware()} }
 
-// Name implements render.Scheduler.
+// Name implements driver.Planner.
 func (OOApp) Name() string { return "OO_APP" }
 
 // Render implements render.Scheduler.
-func (a OOApp) Render(sys *multigpu.System) multigpu.Metrics {
+func (a OOApp) Render(sys *multigpu.System) multigpu.Metrics { return driver.Run(sys, a) }
+
+// Begin implements driver.Planner.
+func (a OOApp) Begin(sys *multigpu.System) (driver.FramePlanner, driver.Profile) {
 	sc := sys.Scene()
 	n := sys.NumGPMs()
-	sys.PlaceFramebufferAt(a.Root)
-	for fi := range sc.Frames {
-		sys.BeginFrame()
-		f := &sc.Frames[fi]
+	return driver.PlanFunc(func(f *scene.Frame, fi int) driver.Plan {
+		plan := driver.Plan{
+			Framebuffer: driver.FBRoot,
+			Root:        a.Root,
+			Compose:     driver.ComposeRoot,
+		}
 		batches := a.Middleware.GroupFrame(sc, f)
 		for bi := range batches {
 			g := mem.GPMID(bi % n)
@@ -48,12 +55,10 @@ func (a OOApp) Render(sys *multigpu.System) multigpu.Metrics {
 			task.ShipTextures = true
 			task.ShipPersistent = true
 			task.ShipExact = true
-			sys.Run(g, task)
+			plan.Submissions = append(plan.Submissions, driver.Submission{GPM: g, Task: task})
 		}
-		sys.ComposeToRoot(a.Root)
-		sys.EndFrame()
-	}
-	return sys.Collect(a.Name())
+		return plan
+	}), driver.Profile{}
 }
 
 // OOVR is the full software/hardware co-designed framework: OO_APP's
@@ -71,132 +76,313 @@ type OOVR struct {
 	// DisableStragglerSplit turns off the fine-grained left-over task
 	// mapping.
 	DisableStragglerSplit bool
+	// Stats, when non-nil, collects distribution-engine occupancy
+	// statistics across the run (tests and diagnostics). The pointer is
+	// shared by every run of this value — a Stats-carrying OOVR must not
+	// be used across concurrent runs (e.g. a Parallel experiment harness).
+	Stats *EngineStats
+}
+
+// EngineStats reports how hard the distribution engine's bounded batch
+// queues were driven during a run.
+type EngineStats struct {
+	// FullQueueStalls counts dispatches that found every GPM queue at
+	// MaxBatchQueue and had to stall for the earliest predicted completion.
+	FullQueueStalls int
+	// MaxQueueDepth is the deepest any GPM's batch queue got.
+	MaxQueueDepth int
+	// AffinityBlocked counts assignments where the data-affinity preference
+	// was abandoned because the preferred GPM's queue was full.
+	AffinityBlocked int
+}
+
+// batchQueues models the engine's bounded per-GPM batch queues (Section
+// 5.2: "we limit the maximum size of the batch queue to 4"). The engine
+// dispatches a frame's batches far faster than the GPMs render them, so the
+// queues fill as it runs ahead; a queued batch retires when its predicted
+// completion passes the engine's dispatch clock, and the clock advances
+// only when every queue is full and dispatch must stall for the earliest
+// predicted completion. Everything is driven by Equation (3) predictions —
+// no oracle knowledge of actual completion times — so the occupancy model
+// is deterministic and costs O(NumGPMs) per batch.
+type batchQueues struct {
+	// done holds each GPM's queued predicted completion times, in dispatch
+	// (hence ascending) order.
+	done  [][]sim.Time
+	clock sim.Time
+	stats *EngineStats
+}
+
+func newBatchQueues(n int, stats *EngineStats) *batchQueues {
+	return &batchQueues{done: make([][]sim.Time, n), stats: stats}
+}
+
+// Drain retires every queued batch whose predicted completion has passed
+// the dispatch clock and refreshes counters[g].QueuedBatches.
+func (q *batchQueues) Drain(counters []GPMCounters) {
+	for g := range q.done {
+		d := q.done[g]
+		for len(d) > 0 && d[0] <= q.clock {
+			d = d[1:]
+		}
+		q.done[g] = d
+		counters[g].QueuedBatches = len(d)
+	}
+}
+
+// Stall advances the dispatch clock to the earliest queued predicted
+// completion — the engine waits for a queue slot — and drains.
+func (q *batchQueues) Stall(counters []GPMCounters) {
+	var min sim.Time
+	first := true
+	for g := range q.done {
+		if len(q.done[g]) == 0 {
+			continue
+		}
+		if first || q.done[g][0] < min {
+			min = q.done[g][0]
+			first = false
+		}
+	}
+	if first {
+		return // nothing queued anywhere; clock stays put
+	}
+	q.clock = min
+	if q.stats != nil {
+		q.stats.FullQueueStalls++
+	}
+	q.Drain(counters)
+}
+
+// anyQueueFull reports whether any GPM's batch queue is at MaxBatchQueue.
+func anyQueueFull(counters []GPMCounters) bool {
+	for g := range counters {
+		if counters[g].QueuedBatches >= MaxBatchQueue {
+			return true
+		}
+	}
+	return false
+}
+
+// Enqueue records a batch assigned to GPM g with predicted completion t.
+func (q *batchQueues) Enqueue(g int, t sim.Time, counters []GPMCounters) {
+	q.done[g] = append(q.done[g], t)
+	counters[g].QueuedBatches = len(q.done[g])
+	if q.stats != nil && len(q.done[g]) > q.stats.MaxQueueDepth {
+		q.stats.MaxQueueDepth = len(q.done[g])
+	}
 }
 
 // NewOOVR returns the full OO-VR configuration.
 func NewOOVR() OOVR { return OOVR{Middleware: NewMiddleware()} }
 
-// Name implements render.Scheduler.
+// Name implements driver.Planner.
 func (OOVR) Name() string { return "OOVR" }
 
 // Render implements render.Scheduler.
-func (v OOVR) Render(sys *multigpu.System) multigpu.Metrics {
-	sc := sys.Scene()
-	n := sys.NumGPMs()
-	if v.DisableDHC {
-		sys.PlaceFramebufferAt(0)
-	} else {
-		sys.PartitionFramebuffer()
-	}
-	pred := &Predictor{}
+func (v OOVR) Render(sys *multigpu.System) multigpu.Metrics { return driver.Run(sys, v) }
+
+// Begin implements driver.Planner.
+func (v OOVR) Begin(sys *multigpu.System) (driver.FramePlanner, driver.Profile) {
+	return &oovrPlanner{
+		cfg:        v,
+		sys:        sys,
+		pred:       &Predictor{},
+		prevAssign: map[int]int{},
+		frame:      -1,
+	}, driver.Profile{}
+}
+
+// oovrPlanner is the runtime distribution engine as a frame planner. While
+// the Equation (3) predictor calibrates, it plans one batch per chunk
+// (Plan.More) and learns each batch's measured time through TaskDone; once
+// fitted, every decision is prediction-driven, so the rest of the frame is
+// planned ahead in one final chunk.
+type oovrPlanner struct {
+	cfg  OOVR
+	sys  *multigpu.System
+	pred *Predictor
 	// prevAssign remembers where each batch ran last frame: the PA units'
 	// pre-allocated data sits in that GPM's DRAM, so the engine prefers it
 	// whenever the predicted availability is close, avoiding needless
 	// re-migration.
-	prevAssign := map[int]int{}
-	for fi := range sc.Frames {
-		sys.BeginFrame()
-		f := &sc.Frames[fi]
-		batches := v.Middleware.GroupFrame(sc, f)
+	prevAssign map[int]int
 
-		// The engine's view of each GPM: predicted availability driven by
-		// Equation (3), not by oracle knowledge of actual completion times.
-		counters := make([]GPMCounters, n)
-		var meanPredicted float64
-		if pred.Calibrated() {
+	// Per-frame dispatch state. The engine's view of each GPM: predicted
+	// availability driven by Equation (3), not by oracle knowledge of
+	// actual completion times.
+	frame         int
+	batches       []Batch
+	bi            int
+	counters      []GPMCounters
+	queues        *batchQueues
+	meanPredicted float64
+	// calibrating is the batch the last single-batch chunk submitted,
+	// awaiting its measured rendering time.
+	calibrating *Batch
+}
+
+// shell returns the frame plan skeleton: the framebuffer arrangement the
+// composition mode needs.
+func (p *oovrPlanner) shell() driver.Plan {
+	if p.cfg.DisableDHC {
+		return driver.Plan{Framebuffer: driver.FBRoot, Root: 0}
+	}
+	return driver.Plan{Framebuffer: driver.FBPartitioned}
+}
+
+// PlanFrame implements driver.FramePlanner.
+func (p *oovrPlanner) PlanFrame(f *scene.Frame, fi int) driver.Plan {
+	n := p.sys.NumGPMs()
+	if fi != p.frame {
+		p.frame = fi
+		p.batches = p.cfg.Middleware.GroupFrame(p.sys.Scene(), f)
+		p.bi = 0
+		p.counters = make([]GPMCounters, n)
+		p.queues = newBatchQueues(n, p.cfg.Stats)
+		p.meanPredicted = 0
+		if p.pred.Calibrated() {
 			var tot float64
-			for bi := range batches {
-				tot += pred.PredictTotal(float64(batches[bi].Triangles))
+			for bi := range p.batches {
+				tot += p.pred.PredictTotal(float64(p.batches[bi].Triangles))
 			}
-			meanPredicted = tot / float64(len(batches))
+			p.meanPredicted = tot / float64(len(p.batches))
+		}
+	}
+
+	plan := p.shell()
+	for ; p.bi < len(p.batches); p.bi++ {
+		b := &p.batches[p.bi]
+		// Batches retire from the engine's queues as their predicted
+		// completions pass the dispatch clock.
+		p.queues.Drain(p.counters)
+
+		// Fine-grained straggler mapping: an outsized batch is split
+		// across all GPMs by triangle/fragment ID, with its data
+		// duplicated to the idle GPMs.
+		split := false
+		if !p.cfg.DisableStragglerSplit && p.pred.Calibrated() && p.meanPredicted > 0 {
+			t := p.pred.PredictTotal(float64(b.Triangles))
+			split = t > StragglerFactor*p.meanPredicted
+		}
+		if split {
+			// The fine-grained broadcast needs a queue slot on every GPM;
+			// the engine stalls until all of them have room.
+			for anyQueueFull(p.counters) {
+				p.queues.Stall(p.counters)
+			}
+			frac := 1 / float64(n)
+			for g := 0; g < n; g++ {
+				task := batchTaskFrac(b, frac)
+				// The PA units duplicate the batch's working set into each
+				// idle GPM's DRAM (Section 5.2); the copies persist.
+				task.ShipTextures = true
+				task.ShipPersistent = true
+				task.ShipExact = true
+				task.Prefetch = true
+				plan.Submissions = append(plan.Submissions, driver.Submission{GPM: mem.GPMID(g), Task: task})
+				p.counters[g].PredictedFree += sim.Time(p.pred.PredictTotal(float64(b.Triangles)) * frac)
+				p.queues.Enqueue(g, p.counters[g].PredictedFree, p.counters)
+			}
+			continue
 		}
 
-		for bi := range batches {
-			b := &batches[bi]
-			// Fine-grained straggler mapping: an outsized batch is split
-			// across all GPMs by triangle/fragment ID, with its data
-			// duplicated to the idle GPMs.
-			split := false
-			if !v.DisableStragglerSplit && pred.Calibrated() && meanPredicted > 0 {
-				t := pred.PredictTotal(float64(b.Triangles))
-				split = t > StragglerFactor*meanPredicted
-			}
-			if split {
-				frac := 1 / float64(n)
-				var end sim.Time
-				for g := 0; g < n; g++ {
-					task := batchTaskFrac(b, frac)
-					// The PA units duplicate the batch's working set into each
-					// idle GPM's DRAM (Section 5.2); the copies persist.
-					task.ShipTextures = true
-					task.ShipPersistent = true
-					task.ShipExact = true
-					task.Prefetch = true
-					if e := sys.Run(mem.GPMID(g), task); e > end {
-						end = e
-					}
-					counters[g].PredictedFree += sim.Time(pred.PredictTotal(float64(b.Triangles)) * frac)
-				}
-				continue
-			}
-
-			var g int
-			if v.DisablePredictor || !pred.Calibrated() {
-				g = bi % n // calibration rounds use round-robin + FT
-			} else {
-				g = EarliestAvailable(counters)
-				if g < 0 {
-					// Every queue is full: fall back to the least loaded.
-					g = 0
-					for cand := 1; cand < n; cand++ {
-						if counters[cand].PredictedFree < counters[g].PredictedFree {
-							g = cand
-						}
-					}
-				}
-				// Data affinity: stick with last frame's GPM when it is
-				// predicted to be nearly as early.
-				if pg, ok := prevAssign[bi]; ok && pg < n && counters[pg].QueuedBatches < MaxBatchQueue {
-					slack := sim.Time(0.2 * meanPredicted)
-					if counters[pg].PredictedFree <= counters[g].PredictedFree+slack {
-						g = pg
-					}
-				}
-			}
-			prevAssign[bi] = g
-			task := batchTask(b, false, pred.Calibrated())
+		if !p.pred.Calibrated() {
+			// Calibration rounds use round-robin + first touch, one batch
+			// per chunk: the measured time arrives via TaskDone before the
+			// next batch is planned.
+			g := p.bi % n
+			p.prevAssign[p.bi] = g
+			task := batchTask(b, false, false)
 			// PA units copy the batch's exact working set ahead of time.
 			task.ShipTextures = true
 			task.ShipPersistent = true
 			task.ShipExact = true
-			startFree := sys.GPM(g).NextFree
-			end := sys.Run(mem.GPMID(g), task)
-			counters[g].PredictedFree += sim.Time(pred.PredictTotal(float64(b.Triangles)))
+			p.calibrating = b
+			p.bi++
+			plan.Submissions = append(plan.Submissions, driver.Submission{GPM: mem.GPMID(g), Task: task})
+			plan.More = true
+			return plan
+		}
 
-			if !pred.Calibrated() {
-				// Feed the calibration with this batch's measured time and
-				// its counter volumes.
-				var work pipeline.Work
-				for _, o := range b.Objects {
-					work = work.Add(pipeline.ObjectWork(o, pipeline.ModeBothSMP, 1, 1))
+		var g int
+		if p.cfg.DisablePredictor {
+			g = p.bi % n // the A2 ablation keeps round-robin forever
+		} else {
+			g = EarliestAvailable(p.counters)
+			if g < 0 {
+				// Every queue is full: the engine stalls until the
+				// earliest predicted completion frees a slot, then
+				// re-picks (the drained GPM is the least loaded with
+				// room). Should draining ever come up empty, fall back
+				// to the least loaded GPM outright rather than wedge.
+				p.queues.Stall(p.counters)
+				if g = EarliestAvailable(p.counters); g < 0 {
+					g = 0
+					for cand := 1; cand < n; cand++ {
+						if p.counters[cand].PredictedFree < p.counters[g].PredictedFree {
+							g = cand
+						}
+					}
 				}
-				pred.Observe(
-					float64(b.Triangles),
-					pipeline.TransformedVertices(work),
-					work.Pixels,
-					float64(end-startFree),
-				)
+			}
+			// Data affinity: stick with last frame's GPM when it is
+			// predicted to be nearly as early.
+			if pg, ok := p.prevAssign[p.bi]; ok && pg < n {
+				if p.counters[pg].QueuedBatches >= MaxBatchQueue {
+					if p.cfg.Stats != nil {
+						p.cfg.Stats.AffinityBlocked++
+					}
+				} else {
+					slack := sim.Time(0.2 * p.meanPredicted)
+					if p.counters[pg].PredictedFree <= p.counters[g].PredictedFree+slack {
+						g = pg
+					}
+				}
 			}
 		}
-
-		if v.DisableDHC {
-			sys.ComposeToRoot(0)
-		} else {
-			sys.ComposeDistributed()
-		}
-		sys.EndFrame()
+		p.prevAssign[p.bi] = g
+		task := batchTask(b, false, true)
+		// PA units copy the batch's exact working set ahead of time.
+		task.ShipTextures = true
+		task.ShipPersistent = true
+		task.ShipExact = true
+		plan.Submissions = append(plan.Submissions, driver.Submission{GPM: mem.GPMID(g), Task: task})
+		p.counters[g].PredictedFree += sim.Time(p.pred.PredictTotal(float64(b.Triangles)))
+		p.queues.Enqueue(g, p.counters[g].PredictedFree, p.counters)
 	}
-	return sys.Collect(v.Name())
+
+	if p.cfg.DisableDHC {
+		plan.Compose = driver.ComposeRoot
+	} else {
+		plan.Compose = driver.ComposeDistributed
+	}
+	return plan
+}
+
+// TaskDone implements driver.Observer: it feeds the predictor's
+// calibration with a single-batch chunk's measured rendering time.
+func (p *oovrPlanner) TaskDone(fi int, sub *driver.Submission, start, end sim.Time) {
+	b := p.calibrating
+	if b == nil {
+		return // prediction-planned batches have nothing left to learn
+	}
+	p.calibrating = nil
+	g := int(sub.GPM)
+	p.counters[g].PredictedFree += sim.Time(p.pred.PredictTotal(float64(b.Triangles)))
+	p.queues.Enqueue(g, p.counters[g].PredictedFree, p.counters)
+	// Feed the calibration with this batch's measured time and its
+	// counter volumes.
+	var work pipeline.Work
+	for _, o := range b.Objects {
+		work = work.Add(pipeline.ObjectWork(o, pipeline.ModeBothSMP, 1, 1))
+	}
+	p.pred.Observe(
+		float64(b.Triangles),
+		pipeline.TransformedVertices(work),
+		work.Pixels,
+		float64(end-start),
+	)
 }
 
 // batchTask builds the multi-view SMP task for a whole batch. migrate turns

@@ -5,6 +5,7 @@ import (
 
 	"oovr/internal/multigpu"
 	"oovr/internal/render"
+	"oovr/internal/scene"
 	"oovr/internal/workload"
 )
 
@@ -18,6 +19,52 @@ func runOn(t *testing.T, s render.Scheduler, frames int) multigpu.Metrics {
 		t.Fatalf("%s rendered %d frames, want %d", s.Name(), m.Frames, frames)
 	}
 	return m
+}
+
+// TestBatchQueueCapEngages pins the MaxBatchQueue regression: a frame with
+// far more batches than 4×NumGPMs must drive the distribution engine's
+// per-GPM queues to the cap, exercise the full-queue stall/fallback in the
+// dispatch loop, and block data-affinity picks whose preferred GPM is full.
+// (Before queue occupancy was tracked, QueuedBatches stayed 0 forever and
+// the MaxBatchQueue limit plus the EarliestAvailable fallback were dead
+// code.)
+func TestBatchQueueCapEngages(t *testing.T) {
+	v := NewOOVR()
+	v.Stats = &EngineStats{}
+	runOn(t, v, 4) // HL2: hundreds of batches per frame on 4 GPMs
+	if v.Stats.MaxQueueDepth != MaxBatchQueue {
+		t.Errorf("max queue depth %d, want the cap %d", v.Stats.MaxQueueDepth, MaxBatchQueue)
+	}
+	if v.Stats.FullQueueStalls == 0 {
+		t.Error("deep scene never hit the full-queue stall path")
+	}
+	if v.Stats.AffinityBlocked == 0 {
+		t.Error("deep scene never blocked an affinity pick on a full queue")
+	}
+}
+
+// TestShallowSceneStaysUnderCap is the complement: with fewer batches than
+// queue slots the engine must never stall.
+func TestShallowSceneStaysUnderCap(t *testing.T) {
+	sp, _ := workload.ByAbbr("DM3")
+	// 640x480 DM3 has ~60 batches/frame; trim the frame to 8 objects so the
+	// whole frame fits into the 4 GPMs' queues.
+	sc := sp.Generate(640, 480, 2, 1)
+	for fi := range sc.Frames {
+		sc.Frames[fi].Objects = sc.Frames[fi].Objects[:8]
+		for oi := range sc.Frames[fi].Objects {
+			sc.Frames[fi].Objects[oi].DependsOn = scene.NoDependency
+		}
+	}
+	v := NewOOVR()
+	v.Stats = &EngineStats{}
+	v.Render(multigpu.New(multigpu.DefaultOptions(), sc))
+	if v.Stats.FullQueueStalls != 0 {
+		t.Errorf("shallow scene stalled %d times", v.Stats.FullQueueStalls)
+	}
+	if v.Stats.MaxQueueDepth > MaxBatchQueue {
+		t.Errorf("queue depth %d exceeds cap %d", v.Stats.MaxQueueDepth, MaxBatchQueue)
+	}
 }
 
 func TestSchedulerNames(t *testing.T) {

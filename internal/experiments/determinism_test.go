@@ -1,14 +1,128 @@
 package experiments
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
 	"reflect"
 	"testing"
 
 	"oovr/internal/core"
+	"oovr/internal/driver"
 	"oovr/internal/multigpu"
 	"oovr/internal/render"
 	"oovr/internal/workload"
 )
+
+// allPlanners returns the seven evaluated schemes in the figures' order.
+func allPlanners() []driver.Planner {
+	return []driver.Planner{
+		render.Baseline{},
+		render.DefaultAFR(),
+		render.TileV{},
+		render.TileH{},
+		render.ObjectSFR{},
+		core.NewOOApp(),
+		core.NewOOVR(),
+	}
+}
+
+// metricsFingerprint folds every field of a Metrics — including the raw
+// float64 bits of each latency and busy counter — into a short digest, so
+// "byte-identical Metrics" is a string comparison.
+func metricsFingerprint(m multigpu.Metrics) string {
+	h := sha256.New()
+	w := func(f float64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+		h.Write(b[:])
+	}
+	fmt.Fprintf(h, "%s|%s|%d|", m.Scheme, m.Workload, m.Frames)
+	w(m.TotalCycles)
+	w(m.InterGPMBytes)
+	w(m.LocalDRAMBytes)
+	w(m.RemoteTextureBytes)
+	w(m.RemoteCompositionBytes)
+	w(m.RemoteDepthBytes)
+	w(m.RemoteCommandBytes)
+	w(m.RemoteVertexBytes)
+	for _, l := range m.FrameLatencies {
+		w(l)
+	}
+	for _, b := range m.GPMBusyCycles {
+		w(b)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}
+
+// goldenFingerprints pins the pre-refactor behaviour: these digests were
+// captured from the monolithic Scheduler.Render implementations (after the
+// MaxBatchQueue occupancy fix) immediately before the execution model was
+// refactored onto driver.FrameLoop/Planner. Every scheme must keep
+// reproducing them byte-for-byte — on the default 4-GPM Table 2 system,
+// 4 frames, seed 1 — through any future execution-core change.
+var goldenFingerprints = map[string]map[string]string{
+	"DM3-640": {
+		"Baseline":       "416787865531dfbf",
+		"Frame-Level":    "f5fe9fd882e3d905",
+		"Tile-Level (V)": "73ea988243e7186d",
+		"Tile-Level (H)": "a92d774369498403",
+		"Object-Level":   "884bf8813213da44",
+		"OO_APP":         "23cb8bb25b0efbdb",
+		"OOVR":           "025b04d641e82c83",
+	},
+	"HL2-1280": {
+		"Baseline":       "bc83a4be273d9c52",
+		"Frame-Level":    "59b7b83a740d3974",
+		"Tile-Level (V)": "bf63d67c026d94ce",
+		"Tile-Level (H)": "f3e32b60d0085573",
+		"Object-Level":   "595bf2cd2d28d918",
+		"OO_APP":         "3f77a1616412ab7d",
+		"OOVR":           "d6b16f334dc00af0",
+	},
+}
+
+// TestGoldenCrossArchitectureEquivalence asserts byte-identical Metrics
+// between the pre-refactor golden values and the new driver path, for all
+// seven schedulers, through both entry points: the legacy Scheduler shim
+// (batch) and a streaming driver.Session fed frame by frame.
+func TestGoldenCrossArchitectureEquivalence(t *testing.T) {
+	for cname, want := range goldenFingerprints {
+		c, ok := workload.CaseByName(cname)
+		if !ok {
+			t.Fatalf("missing benchmark case %s", cname)
+		}
+		for _, p := range allPlanners() {
+			// Batch path: the Scheduler shim over driver.Run.
+			sc := c.Spec.Generate(c.Width, c.Height, 4, 1)
+			batch := p.(render.Scheduler).Render(multigpu.New(multigpu.DefaultOptions(), sc))
+			if got := metricsFingerprint(batch); got != want[p.Name()] {
+				t.Errorf("%s/%s batch: fingerprint %s, golden %s (metrics drifted from the pre-refactor implementation)",
+					cname, p.Name(), got, want[p.Name()])
+			}
+			// Streaming path: bind the scene header, submit frames one at
+			// a time.
+			st := c.Spec.Stream(c.Width, c.Height, 4, 1)
+			ses := driver.Open(multigpu.New(multigpu.DefaultOptions(), st.Header()), p)
+			for {
+				f, ok := st.Next()
+				if !ok {
+					break
+				}
+				ses.SubmitFrame(f)
+			}
+			streamed := ses.Close()
+			if got := metricsFingerprint(streamed); got != want[p.Name()] {
+				t.Errorf("%s/%s streamed: fingerprint %s, golden %s",
+					cname, p.Name(), got, want[p.Name()])
+			}
+			if !reflect.DeepEqual(batch, streamed) {
+				t.Errorf("%s/%s: streamed metrics diverged from batch", cname, p.Name())
+			}
+		}
+	}
+}
 
 // TestGoldenSchedulerDeterminism pins the simulator's determinism
 // guarantee: rendering the same case with the same seed twice must produce
@@ -21,16 +135,7 @@ func TestGoldenSchedulerDeterminism(t *testing.T) {
 	if !ok {
 		t.Fatal("missing benchmark case")
 	}
-	scheds := []render.Scheduler{
-		render.Baseline{},
-		render.DefaultAFR(),
-		render.TileV{},
-		render.TileH{},
-		render.ObjectSFR{},
-		core.NewOOApp(),
-		core.NewOOVR(),
-	}
-	for _, s := range scheds {
+	for _, s := range allPlanners() {
 		a := runCase(c, s, multigpu.DefaultOptions(), 4, 1)
 		b := runCase(c, s, multigpu.DefaultOptions(), 4, 1)
 		if !reflect.DeepEqual(a, b) {

@@ -13,9 +13,11 @@ import (
 	"fmt"
 
 	"oovr/internal/core"
+	"oovr/internal/driver"
 	"oovr/internal/multigpu"
 	"oovr/internal/pipeline"
 	"oovr/internal/render"
+	"oovr/internal/scene"
 	"oovr/internal/stats"
 	"oovr/internal/workload"
 )
@@ -69,12 +71,12 @@ func (o Options) caseNames() []string {
 	return names
 }
 
-// runCase renders one benchmark case under one scheduler and system option
-// set.
-func runCase(c workload.Case, s render.Scheduler, sysOpt multigpu.Options, frames int, seed int64) multigpu.Metrics {
+// runCase renders one benchmark case under one scheduling policy and
+// system option set, through the frame-driver execution core.
+func runCase(c workload.Case, p driver.Planner, sysOpt multigpu.Options, frames int, seed int64) multigpu.Metrics {
 	sc := c.Spec.Generate(c.Width, c.Height, frames, seed)
 	sys := multigpu.New(sysOpt, sc)
-	return s.Render(sys)
+	return driver.Run(sys, p)
 }
 
 // E0SMPValidation reproduces the Section 3 validation: on a single GPU,
@@ -114,21 +116,17 @@ type singleGPU struct{ mode pipeline.Mode }
 
 func (s singleGPU) Name() string { return "Single-GPU(" + s.mode.String() + ")" }
 
-func (s singleGPU) Render(sys *multigpu.System) multigpu.Metrics {
-	sc := sys.Scene()
-	for fi := range sc.Frames {
-		sys.BeginFrame()
-		f := &sc.Frames[fi]
+// Begin implements driver.Planner.
+func (s singleGPU) Begin(sys *multigpu.System) (driver.FramePlanner, driver.Profile) {
+	return driver.PlanFunc(func(f *scene.Frame, fi int) driver.Plan {
 		task := multigpu.Task{Color: multigpu.ColorStriped}
 		for oi := range f.Objects {
 			task.Parts = append(task.Parts, multigpu.TaskPart{
 				Object: &f.Objects[oi], Mode: s.mode, GeomFrac: 1, FragFrac: 1,
 			})
 		}
-		sys.Run(0, task)
-		sys.EndFrame()
-	}
-	return sys.Collect(s.Name())
+		return driver.Plan{Submissions: []driver.Submission{{GPM: 0, Task: task}}}
+	}), driver.Profile{}
 }
 
 // F4Bandwidth reproduces Figure 4: baseline performance as the inter-GPM
@@ -204,7 +202,7 @@ func F8SFRPerformance(o Options) stats.Figure {
 		Caption: "SFR performance normalized to baseline (paper: V 1.28x, H 1.03x, Object 1.60x)",
 		XLabels: o.caseNames(),
 	}
-	schemes := []render.Scheduler{render.TileV{}, render.TileH{}, render.ObjectSFR{}}
+	schemes := []driver.Planner{render.TileV{}, render.TileH{}, render.ObjectSFR{}}
 	base := make([]float64, len(o.Cases))
 	o.forEach(len(o.Cases), func(ci int) {
 		base[ci] = runCase(o.Cases[ci], render.Baseline{}, o.sysOptions(), o.Frames, o.Seed).FPSCycles()
@@ -229,7 +227,7 @@ func F9SFRTraffic(o Options) stats.Figure {
 		Caption: "SFR inter-GPM traffic normalized to baseline (paper: V 1.50x, H 1.44x, Object 0.60x)",
 		XLabels: o.caseNames(),
 	}
-	schemes := []render.Scheduler{render.TileV{}, render.TileH{}, render.ObjectSFR{}}
+	schemes := []driver.Planner{render.TileV{}, render.TileH{}, render.ObjectSFR{}}
 	base := make([]float64, len(o.Cases))
 	o.forEach(len(o.Cases), func(ci int) {
 		base[ci] = runCase(o.Cases[ci], render.Baseline{}, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes
@@ -276,7 +274,7 @@ func F15Speedup(o Options) stats.Figure {
 	o.forEach(len(o.Cases), func(ci int) {
 		base[ci] = runCase(o.Cases[ci], render.Baseline{}, o.sysOptions(), o.Frames, o.Seed).AvgFrameLatency()
 	})
-	addNormalized := func(name string, sched render.Scheduler, sysOpt multigpu.Options) {
+	addNormalized := func(name string, sched driver.Planner, sysOpt multigpu.Options) {
 		vals := make([]float64, len(o.Cases))
 		o.forEach(len(o.Cases), func(ci int) {
 			vals[ci] = base[ci] / runCase(o.Cases[ci], sched, sysOpt, o.Frames, o.Seed).AvgFrameLatency()
@@ -308,7 +306,7 @@ func F16Traffic(o Options) stats.Figure {
 		base[ci] = runCase(o.Cases[ci], render.Baseline{}, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes
 	})
 	fig.AddSeries("Baseline", stats.Normalize(base, base))
-	for _, s := range []render.Scheduler{render.ObjectSFR{}, core.NewOOVR()} {
+	for _, s := range []driver.Planner{render.ObjectSFR{}, core.NewOOVR()} {
 		vals := make([]float64, len(o.Cases))
 		o.forEach(len(o.Cases), func(ci int) {
 			vals[ci] = runCase(o.Cases[ci], s, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes / base[ci]
@@ -336,7 +334,7 @@ func F17BandwidthScaling(o Options) stats.Figure {
 	o.forEach(len(o.Cases), func(ci int) {
 		ref[ci] = runCase(o.Cases[ci], render.Baseline{}, refOpt, o.Frames, o.Seed).TotalCycles
 	})
-	for _, s := range []render.Scheduler{render.Baseline{}, render.ObjectSFR{}, core.NewOOVR()} {
+	for _, s := range []driver.Planner{render.Baseline{}, render.ObjectSFR{}, core.NewOOVR()} {
 		vals := make([]float64, len(bws))
 		for bi, bw := range bws {
 			sysOpt := o.sysOptions()
@@ -371,7 +369,7 @@ func F18GPMScaling(o Options) stats.Figure {
 	o.forEach(len(o.Cases), func(ci int) {
 		ref[ci] = runCase(o.Cases[ci], singleGPU{mode: pipeline.ModeBothSMP}, oneOpt, o.Frames, o.Seed).TotalCycles
 	})
-	for _, s := range []render.Scheduler{render.Baseline{}, render.ObjectSFR{}, core.NewOOVR()} {
+	for _, s := range []driver.Planner{render.Baseline{}, render.ObjectSFR{}, core.NewOOVR()} {
 		vals := make([]float64, len(counts))
 		for ni, n := range counts {
 			sysOpt := o.sysOptions()

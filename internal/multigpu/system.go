@@ -226,20 +226,10 @@ func New(opt Options, sc *scene.Scene) *System {
 		s.Mem.PlaceStriped(id)
 		s.texSeg = append(s.texSeg, id)
 	}
-	maxObjs := 0
-	for fi := range sc.Frames {
-		if len(sc.Frames[fi].Objects) > maxObjs {
-			maxObjs = len(sc.Frames[fi].Objects)
-		}
-	}
-	for i := 0; i < maxObjs; i++ {
-		var size int64
-		for fi := range sc.Frames {
-			objs := sc.Frames[fi].Objects
-			if i < len(objs) && objs[i].VertexBytes() > size {
-				size = objs[i].VertexBytes()
-			}
-		}
+	// Vertex buffers are sized from the scene's allocation envelope: the
+	// materialized frames plus any declared streaming capacity (meshes are
+	// shared across frames, so one buffer per object index suffices).
+	for i, size := range sc.VertexCapacities() {
 		vb := s.Mem.Alloc(mem.KindVertex, fmt.Sprintf("vb%04d", i), size)
 		s.Mem.PlaceStriped(vb)
 		s.vbSeg = append(s.vbSeg, vb)
@@ -250,12 +240,7 @@ func New(opt Options, sc *scene.Scene) *System {
 	depthBytes := int64(2 * sc.PixelsPerView() * 4)
 	s.depthSeg = s.Mem.Alloc(mem.KindDepth, "depth", depthBytes)
 	s.Mem.PlaceStriped(s.depthSeg)
-	var maxDraws int64
-	for fi := range sc.Frames {
-		if d := int64(len(sc.Frames[fi].Objects)); d > maxDraws {
-			maxDraws = d
-		}
-	}
+	maxDraws := int64(sc.MaxObjects())
 	s.cmdSeg = s.Mem.Alloc(mem.KindCommand, "commands", 2*maxDraws*pipeline.CommandBytesPerDraw)
 	s.Mem.Place(s.cmdSeg, 0)
 	for g := 0; g < n; g++ {
@@ -343,97 +328,146 @@ func (s *System) reserveFlow(t sim.Time, f mem.Flow) sim.Time {
 	return end
 }
 
-// Run executes a task on GPM g and returns its completion time. The task
-// starts when the GPM is free (plus blocking ship time), computes for the
-// pipelined stage cost, and stalls for whatever memory time the in-flight
-// threads cannot hide.
-func (s *System) Run(g mem.GPMID, task Task) sim.Time {
-	gi := int(g)
-	start := s.gpms[gi].NextFree
+// TaskContext carries one task through the explicit execution phases a
+// scheduling policy can observe and reorder:
+//
+//	ctx := sys.Begin(g, task)
+//	ctx.Ship()    // software data distribution (ShipTextures)
+//	ctx.Migrate() // PA-unit page pre-allocation (MigrateData)
+//	end := ctx.Execute()
+//
+// Begin pins the task's start to the GPM's availability; Ship and Migrate
+// book their transfer flows and, unless the task prefetches, push the start
+// past the transfer; Execute issues the rendering flows, charges compute
+// and stall time, and commits the GPM timeline. Run composes the phases in
+// the standard order driven by the task's flags.
+type TaskContext struct {
+	sys   *System
+	gpm   mem.GPMID
+	task  Task
+	start sim.Time
+	// shipMap maps an original segment to the GPM-local copy Ship created;
+	// nil when the ship phase did not run (the hot path allocates nothing).
+	shipMap map[mem.SegmentID]mem.SegmentID
+	done    bool
+}
 
-	// Software data distribution (shipping) if requested: the framework
-	// copies each referenced segment into this GPM's DRAM, after which the
-	// task's reads are local.
-	shipMap := map[mem.SegmentID]mem.SegmentID{}
-	if task.ShipTextures {
-		// The framework ships each object's texture *working set* — what
-		// the object's fragments will sample, bounded by the texture size —
-		// plus its vertex buffer. Two parts sharing a texture ship the
-		// larger working set once.
-		budget := map[mem.SegmentID]float64{}
-		for _, p := range task.Parts {
-			// The framework distributes per *view region*: a strip covering
-			// both views ships (most of) both views' working sets even when
-			// SMP merges their shading — SMP saves compute, not data
-			// distribution.
-			views := 1.0
-			if p.Mode != pipeline.ModeSingleView {
-				views = 1.7
-			}
-			overfetch := s.opt.ShipOverfetch
-			if task.ShipExact {
-				// The OO middleware ships exactly what the batch samples,
-				// including the SMP inter-view overlap.
-				views = pipeline.ObjectMemVolumes(p.Object, p.Mode, 1, 1).FragsForTexture / p.Object.FragsPerView
-				overfetch = 1
-			}
-			for _, tid := range p.Object.Textures {
-				orig := s.textureSegment(g, &task, tid)
-				want := views * p.Object.FragsPerView * s.opt.Cache.SampleBytesPerFragment * overfetch
-				if want > budget[orig] {
-					budget[orig] = want
-				}
-			}
-			vb := s.vertexSegment(g, &task, p.Object.Index)
-			budget[vb] = float64(s.Mem.Segment(vb).Size)
+// Begin opens a task context on GPM g. The task starts no earlier than the
+// GPM's next availability.
+func (s *System) Begin(g mem.GPMID, task Task) *TaskContext {
+	return &TaskContext{sys: s, gpm: g, task: task, start: s.gpms[g].NextFree}
+}
+
+// Start returns the task's current start time (phases that block push it).
+func (c *TaskContext) Start() sim.Time { return c.start }
+
+// GPM returns the target GPM.
+func (c *TaskContext) GPM() mem.GPMID { return c.gpm }
+
+// Ship performs the software data distribution of the sort-first/sort-last
+// frameworks: each referenced segment is copied into the GPM's DRAM, after
+// which the task's reads are local. Without Prefetch the task start moves
+// past the transfer.
+func (c *TaskContext) Ship() {
+	s, g, task := c.sys, c.gpm, &c.task
+	// The framework ships each object's texture *working set* — what
+	// the object's fragments will sample, bounded by the texture size —
+	// plus its vertex buffer. Two parts sharing a texture ship the
+	// larger working set once.
+	budget := map[mem.SegmentID]float64{}
+	for _, p := range task.Parts {
+		// The framework distributes per *view region*: a strip covering
+		// both views ships (most of) both views' working sets even when
+		// SMP merges their shading — SMP saves compute, not data
+		// distribution.
+		views := 1.0
+		if p.Mode != pipeline.ModeSingleView {
+			views = 1.7
 		}
-		// Reserve in segment-id order: budget is a map, and FIFO resources
-		// book reservations in arrival order, so iterating in map order
-		// would make the run's timings depend on Go's map randomization.
-		ids := make([]mem.SegmentID, 0, len(budget))
-		for orig := range budget {
-			ids = append(ids, orig)
+		overfetch := s.opt.ShipOverfetch
+		if task.ShipExact {
+			// The OO middleware ships exactly what the batch samples,
+			// including the SMP inter-view overlap.
+			views = pipeline.ObjectMemVolumes(p.Object, p.Mode, 1, 1).FragsForTexture / p.Object.FragsPerView
+			overfetch = 1
 		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		shipEnd := start
-		for _, orig := range ids {
-			shipMap[orig] = s.ship(g, orig, budget[orig], task.ShipPersistent, start, &shipEnd)
+		for _, tid := range p.Object.Textures {
+			orig := s.textureSegment(g, task, tid)
+			want := views * p.Object.FragsPerView * s.opt.Cache.SampleBytesPerFragment * overfetch
+			if want > budget[orig] {
+				budget[orig] = want
+			}
 		}
-		if !task.Prefetch {
-			start = shipEnd
+		vb := s.vertexSegment(g, task, p.Object.Index)
+		budget[vb] = float64(s.Mem.Segment(vb).Size)
+	}
+	// Reserve in segment-id order: budget is a map, and FIFO resources
+	// book reservations in arrival order, so iterating in map order
+	// would make the run's timings depend on Go's map randomization.
+	ids := make([]mem.SegmentID, 0, len(budget))
+	for orig := range budget {
+		ids = append(ids, orig)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	c.shipMap = make(map[mem.SegmentID]mem.SegmentID, len(ids))
+	shipEnd := c.start
+	for _, orig := range ids {
+		c.shipMap[orig] = s.ship(g, orig, budget[orig], task.ShipPersistent, c.start, &shipEnd)
+	}
+	if !task.Prefetch {
+		c.start = shipEnd
+	}
+}
+
+// Migrate performs OO-VR's PA-unit pre-allocation: the task's texture and
+// vertex pages are re-homed into the GPM's DRAM (one NUMA copy, unlike
+// Ship). A shared segment migrates at most once per frame. Without
+// Prefetch the task start moves past the migration.
+func (c *TaskContext) Migrate() {
+	s, g, task := c.sys, c.gpm, &c.task
+	gi := int(g)
+	migEnd := c.start
+	migrate := func(seg mem.SegmentID) {
+		if s.shipped[gi][seg] {
+			return
+		}
+		s.shipped[gi][seg] = true
+		if owner, ok := s.claimed[seg]; ok && owner != g {
+			return // another GPM's batch owns it this frame
+		}
+		s.claimed[seg] = g
+		if s.fullyHomedAt(seg, g) {
+			return // already local: pre-allocation is free
+		}
+		flow := s.Mem.Duplicate(seg, g)
+		if e := s.reserveFlow(c.start, flow); e > migEnd {
+			migEnd = e
 		}
 	}
-	if task.MigrateData {
-		migEnd := start
-		migrate := func(seg mem.SegmentID) {
-			if s.shipped[gi][seg] {
-				return
-			}
-			s.shipped[gi][seg] = true
-			if owner, ok := s.claimed[seg]; ok && owner != g {
-				return // another GPM's batch owns it this frame
-			}
-			s.claimed[seg] = g
-			if s.fullyHomedAt(seg, g) {
-				return // already local: pre-allocation is free
-			}
-			flow := s.Mem.Duplicate(seg, g)
-			if e := s.reserveFlow(start, flow); e > migEnd {
-				migEnd = e
-			}
+	for _, p := range task.Parts {
+		for _, tid := range p.Object.Textures {
+			migrate(s.textureSegment(g, task, tid))
 		}
-		for _, p := range task.Parts {
-			for _, tid := range p.Object.Textures {
-				migrate(s.textureSegment(g, &task, tid))
-			}
-			migrate(s.vertexSegment(g, &task, p.Object.Index))
-		}
-		if !task.Prefetch {
-			start = migEnd
-		}
+		migrate(s.vertexSegment(g, task, p.Object.Index))
 	}
+	if !task.Prefetch {
+		c.start = migEnd
+	}
+}
+
+// Execute issues the task's rendering work — vertex/texture/depth/color/
+// command flows plus the pipelined compute — charges whatever memory time
+// the in-flight threads cannot hide, commits the GPM timeline and returns
+// the completion time. A context executes exactly once.
+func (c *TaskContext) Execute() sim.Time {
+	if c.done {
+		panic("multigpu: TaskContext executed twice")
+	}
+	c.done = true
+	s, g, task, start := c.sys, c.gpm, &c.task, c.start
+	gi := int(g)
 	resolve := func(orig mem.SegmentID) mem.SegmentID {
-		if cp, ok := shipMap[orig]; ok {
+		if cp, ok := c.shipMap[orig]; ok { // nil map lookup is fine
 			return cp
 		}
 		return orig
@@ -452,13 +486,13 @@ func (s *System) Run(g mem.GPMID, task Task) sim.Time {
 		mv := pipeline.ObjectMemVolumes(p.Object, p.Mode, p.GeomFrac, p.FragFrac)
 
 		// Vertex fetch.
-		vb := resolve(s.vertexSegment(g, &task, p.Object.Index))
+		vb := resolve(s.vertexSegment(g, task, p.Object.Index))
 		account(s.Mem.Read(g, vb, 0, clampLen(mv.VertexBytes, s.Mem.Segment(vb).Size)))
 
 		// Texture fetch: each bound texture is sampled by the part's
 		// fragments.
 		for _, tid := range p.Object.Textures {
-			seg := resolve(s.textureSegment(g, &task, tid))
+			seg := resolve(s.textureSegment(g, task, tid))
 			size := s.Mem.Segment(seg).Size
 			if task.SharedL2 {
 				// Striped shared L2: sample volume itself crosses the
@@ -517,6 +551,23 @@ func (s *System) Run(g mem.GPMID, task Task) sim.Time {
 	s.gpms[gi].NextFree = end
 	s.gpms[gi].Tasks++
 	return end
+}
+
+// Run executes a task on GPM g and returns its completion time: the
+// standard phase order, with shipping and migration driven by the task's
+// flags. Policies that need to observe or reorder the phases use Begin and
+// the TaskContext phases directly.
+func (s *System) Run(g mem.GPMID, task Task) sim.Time {
+	// A local context keeps the common path allocation-free (Begin's
+	// returned pointer would escape to the heap on every task).
+	c := TaskContext{sys: s, gpm: g, task: task, start: s.gpms[g].NextFree}
+	if task.ShipTextures {
+		c.Ship()
+	}
+	if task.MigrateData {
+		c.Migrate()
+	}
+	return c.Execute()
 }
 
 // ship ensures GPM g holds a local copy of orig and returns the copy's

@@ -9,11 +9,17 @@
 //   - ObjectSFR: object-level (sort-last) split frame rendering with
 //     round-robin distribution and master-node composition (Section 4.3).
 //
+// Every scheme is a pure-policy driver.Planner: it emits per-frame Plans
+// (task submissions + composition + framebuffer placement) and the
+// driver.FrameLoop executes them. The Scheduler interface remains as a
+// batch-mode shim over driver.Run.
+//
 // The OO-VR framework itself lives in internal/core; it plugs into the same
-// Scheduler interface.
+// Planner contract.
 package render
 
 import (
+	"oovr/internal/driver"
 	"oovr/internal/geom"
 	"oovr/internal/mem"
 	"oovr/internal/multigpu"
@@ -23,12 +29,26 @@ import (
 )
 
 // Scheduler renders a bound scene on a multi-GPU system and reports
-// metrics. Implementations must render every frame of the scene.
+// metrics — the batch-mode contract. Every scheme in this repo implements
+// it as a one-line shim over driver.Run; new policies should implement
+// driver.Planner and get this interface for free via driver.Run (or stream
+// frames through a driver.Session instead).
 type Scheduler interface {
 	// Name is the scheme's figure label.
 	Name() string
 	// Render executes the whole scene and returns collected metrics.
 	Render(sys *multigpu.System) multigpu.Metrics
+}
+
+// AsScheduler adapts any driver.Planner to the batch Scheduler interface,
+// so custom policies written against the Planner contract keep working with
+// code that expects the legacy shape.
+func AsScheduler(p driver.Planner) Scheduler { return plannerScheduler{p} }
+
+type plannerScheduler struct{ driver.Planner }
+
+func (s plannerScheduler) Render(sys *multigpu.System) multigpu.Metrics {
+	return driver.Run(sys, s.Planner)
 }
 
 // Baseline is the single-programming-model scheme of Section 2.3 and
@@ -40,16 +60,17 @@ type Scheduler interface {
 // rendered (and fetched) twice, which is the waste OO-VR removes.
 type Baseline struct{}
 
-// Name implements Scheduler.
+// Name implements driver.Planner.
 func (Baseline) Name() string { return "Baseline" }
 
 // Render implements Scheduler.
-func (Baseline) Render(sys *multigpu.System) multigpu.Metrics {
+func (b Baseline) Render(sys *multigpu.System) multigpu.Metrics { return driver.Run(sys, b) }
+
+// Begin implements driver.Planner.
+func (Baseline) Begin(sys *multigpu.System) (driver.FramePlanner, driver.Profile) {
 	sc := sys.Scene()
 	n := sys.NumGPMs()
-	for fi := range sc.Frames {
-		sys.BeginFrame()
-		f := &sc.Frames[fi]
+	return driver.PlanFunc(func(f *scene.Frame, fi int) driver.Plan {
 		if n == 1 {
 			// A single GPU keeps both views on the same PMEs, so SMP works.
 			task := multigpu.Task{Color: multigpu.ColorStriped, SharedL2: true}
@@ -58,9 +79,7 @@ func (Baseline) Render(sys *multigpu.System) multigpu.Metrics {
 					Object: &f.Objects[oi], Mode: pipeline.ModeBothSMP, GeomFrac: 1, FragFrac: 1,
 				})
 			}
-			sys.Run(0, task)
-			sys.EndFrame()
-			continue
+			return driver.Plan{Submissions: []driver.Submission{{GPM: 0, Task: task}}}
 		}
 		// Figure 3's quadrants: half the GPMs render the left view, half
 		// the right, and within a view's group each GPM owns a horizontal
@@ -70,6 +89,7 @@ func (Baseline) Render(sys *multigpu.System) multigpu.Metrics {
 		leftGPMs := n / 2
 		rightGPMs := n - leftGPMs
 		view := sc.Stereo().Left.Bounds()
+		var plan driver.Plan
 		for g := 0; g < n; g++ {
 			group, idx := leftGPMs, g
 			if g >= leftGPMs {
@@ -91,17 +111,18 @@ func (Baseline) Render(sys *multigpu.System) multigpu.Metrics {
 					FragFrac: fragFrac,
 				})
 			}
-			sys.Run(mem.GPMID(g), task)
+			plan.Submissions = append(plan.Submissions, driver.Submission{GPM: mem.GPMID(g), Task: task})
 		}
-		sys.EndFrame()
-	}
-	return sys.Collect(Baseline{}.Name())
+		return plan
+	}), driver.Profile{}
 }
 
 // AFR is alternate frame rendering: frame i renders entirely on GPM i mod N
 // from a private, pre-allocated copy of all data (separate memory spaces),
-// overlapping frames across GPMs. The driver's serial per-frame command
-// preparation limits how fast frames can be issued.
+// overlapping frames across GPMs — the scheme declares a frames-in-flight
+// depth of one frame per GPM and the driver pipelines accordingly. The
+// driver's serial per-frame command preparation limits how fast frames can
+// be issued.
 type AFR struct {
 	// DriverCyclesPerDraw is the serial driver cost to record one draw of a
 	// frame's command stream before the frame can start.
@@ -114,44 +135,59 @@ type AFR struct {
 // DefaultAFR returns the calibrated AFR configuration.
 func DefaultAFR() AFR { return AFR{DriverCyclesPerDraw: 40, DriverCyclesPerKFrag: 20} }
 
-// Name implements Scheduler.
+// Name implements driver.Planner.
 func (AFR) Name() string { return "Frame-Level" }
 
 // Render implements Scheduler.
-func (a AFR) Render(sys *multigpu.System) multigpu.Metrics {
-	sc := sys.Scene()
-	n := sys.NumGPMs()
-	sys.PartitionFramebuffer() // per-GPM local Z/FB accounting
-	for g := 0; g < n && g < len(sc.Frames); g++ {
-		sys.EnsureLocalCopies(mem.GPMID(g))
+func (a AFR) Render(sys *multigpu.System) multigpu.Metrics { return driver.Run(sys, a) }
+
+// Begin implements driver.Planner.
+func (a AFR) Begin(sys *multigpu.System) (driver.FramePlanner, driver.Profile) {
+	return &afrPlanner{sys: sys, cfg: a, ensured: make([]bool, sys.NumGPMs())},
+		driver.Profile{FramesInFlight: sys.NumGPMs()}
+}
+
+// afrPlanner carries AFR's per-run state: the serial driver clock and which
+// GPMs already hold their private data copies.
+type afrPlanner struct {
+	sys *multigpu.System
+	cfg AFR
+	// driverFree is the absolute time the serial driver finishes recording
+	// each frame's command stream; frames cannot issue before it.
+	driverFree float64
+	ensured    []bool
+}
+
+// PlanFrame implements driver.FramePlanner.
+func (p *afrPlanner) PlanFrame(f *scene.Frame, fi int) driver.Plan {
+	g := mem.GPMID(fi % p.sys.NumGPMs())
+	if !p.ensured[g] {
+		// AFR's separate memory spaces: the private copy is made at
+		// application load time, costing capacity but no link time.
+		p.sys.EnsureLocalCopies(g)
+		p.ensured[g] = true
 	}
-	var driverFree float64
-	for fi := range sc.Frames {
-		f := &sc.Frames[fi]
-		g := mem.GPMID(fi % n)
-		// The driver records this frame's commands serially before issue.
-		driverFree += float64(len(f.Objects))*a.DriverCyclesPerDraw +
-			2*f.FragsPerView()/1000*a.DriverCyclesPerKFrag
-		sys.AdvanceGPMTo(g, sim.Time(driverFree))
-		start := sys.GPM(int(g)).NextFree
-		task := multigpu.Task{
-			UseLocalCopies: true,
-			Color:          multigpu.ColorLocalStage,
-			DepthLocal:     true,
-		}
-		for oi := range f.Objects {
-			task.Parts = append(task.Parts, multigpu.TaskPart{
-				Object:   &f.Objects[oi],
-				Mode:     pipeline.ModeBothSMP,
-				GeomFrac: 1,
-				FragFrac: 1,
-			})
-		}
-		end := sys.Run(g, task)
-		sys.RecordFrameLatency(end - start)
+	// The driver records this frame's commands serially before issue.
+	p.driverFree += float64(len(f.Objects))*p.cfg.DriverCyclesPerDraw +
+		2*f.FragsPerView()/1000*p.cfg.DriverCyclesPerKFrag
+	task := multigpu.Task{
+		UseLocalCopies: true,
+		Color:          multigpu.ColorLocalStage,
+		DepthLocal:     true,
 	}
-	sys.DiscardStagedPixels() // each frame's FB is local to its GPM
-	return sys.Collect(AFR{}.Name())
+	for oi := range f.Objects {
+		task.Parts = append(task.Parts, multigpu.TaskPart{
+			Object:   &f.Objects[oi],
+			Mode:     pipeline.ModeBothSMP,
+			GeomFrac: 1,
+			FragFrac: 1,
+		})
+	}
+	return driver.Plan{
+		Framebuffer: driver.FBPartitioned, // per-GPM local Z/FB accounting
+		Submissions: []driver.Submission{{GPM: g, IssueAt: sim.Time(p.driverFree), Task: task}},
+		Compose:     driver.ComposeDiscard, // each frame's FB is local to its GPM
+	}
 }
 
 // TileV is tile-level SFR with vertical strips across the combined stereo
@@ -163,13 +199,15 @@ func (a AFR) Render(sys *multigpu.System) multigpu.Metrics {
 // object's private data is re-streamed by every strip it overlaps.
 type TileV struct{}
 
-// Name implements Scheduler.
+// Name implements driver.Planner.
 func (TileV) Name() string { return "Tile-Level (V)" }
 
 // Render implements Scheduler.
-func (TileV) Render(sys *multigpu.System) multigpu.Metrics {
-	renderTiles(sys, true)
-	return sys.Collect(TileV{}.Name())
+func (t TileV) Render(sys *multigpu.System) multigpu.Metrics { return driver.Run(sys, t) }
+
+// Begin implements driver.Planner.
+func (TileV) Begin(sys *multigpu.System) (driver.FramePlanner, driver.Profile) {
+	return tilePlanner(sys, true), driver.Profile{}
 }
 
 // TileH is tile-level SFR with horizontal strips. Each strip spans both
@@ -178,26 +216,25 @@ func (TileV) Render(sys *multigpu.System) multigpu.Metrics {
 // across GPMs.
 type TileH struct{}
 
-// Name implements Scheduler.
+// Name implements driver.Planner.
 func (TileH) Name() string { return "Tile-Level (H)" }
 
 // Render implements Scheduler.
-func (TileH) Render(sys *multigpu.System) multigpu.Metrics {
-	renderTiles(sys, false)
-	return sys.Collect(TileH{}.Name())
+func (t TileH) Render(sys *multigpu.System) multigpu.Metrics { return driver.Run(sys, t) }
+
+// Begin implements driver.Planner.
+func (TileH) Begin(sys *multigpu.System) (driver.FramePlanner, driver.Profile) {
+	return tilePlanner(sys, false), driver.Profile{}
 }
 
-// renderTiles runs both tile schemes; vertical selects the strip axis.
-func renderTiles(sys *multigpu.System, vertical bool) {
+// tilePlanner plans both tile schemes; vertical selects the strip axis.
+func tilePlanner(sys *multigpu.System, vertical bool) driver.FramePlanner {
 	sc := sys.Scene()
 	n := sys.NumGPMs()
 	stereo := sc.Stereo()
 	shift := stereo.EyeShift()
 	combined := stereo.Combined()
-	for fi := range sc.Frames {
-		sys.BeginFrame()
-		f := &sc.Frames[fi]
-		sys.PartitionFramebuffer()
+	return driver.PlanFunc(func(f *scene.Frame, fi int) driver.Plan {
 		tasks := make([]multigpu.Task, n)
 		for g := range tasks {
 			tasks[g] = multigpu.Task{
@@ -241,13 +278,14 @@ func renderTiles(sys *multigpu.System, vertical bool) {
 				}
 			}
 		}
+		plan := driver.Plan{Framebuffer: driver.FBPartitioned}
 		for g := 0; g < n; g++ {
 			if len(tasks[g].Parts) > 0 {
-				sys.Run(mem.GPMID(g), tasks[g])
+				plan.Submissions = append(plan.Submissions, driver.Submission{GPM: mem.GPMID(g), Task: tasks[g]})
 			}
 		}
-		sys.EndFrame()
-	}
+		return plan
+	})
 }
 
 // addTilePart appends a single-view part covering bounds∩tile, if any.
@@ -292,17 +330,21 @@ type ObjectSFR struct {
 	Root mem.GPMID
 }
 
-// Name implements Scheduler.
+// Name implements driver.Planner.
 func (ObjectSFR) Name() string { return "Object-Level" }
 
 // Render implements Scheduler.
-func (s ObjectSFR) Render(sys *multigpu.System) multigpu.Metrics {
-	sc := sys.Scene()
+func (s ObjectSFR) Render(sys *multigpu.System) multigpu.Metrics { return driver.Run(sys, s) }
+
+// Begin implements driver.Planner.
+func (s ObjectSFR) Begin(sys *multigpu.System) (driver.FramePlanner, driver.Profile) {
 	n := sys.NumGPMs()
-	sys.PlaceFramebufferAt(s.Root)
-	for fi := range sc.Frames {
-		sys.BeginFrame()
-		f := &sc.Frames[fi]
+	return driver.PlanFunc(func(f *scene.Frame, fi int) driver.Plan {
+		plan := driver.Plan{
+			Framebuffer: driver.FBRoot, // the master node's DRAM holds the FB
+			Root:        s.Root,
+			Compose:     driver.ComposeRoot,
+		}
 		// Left and right views are separate object streams ("it still
 		// executes the objects from the left and right views separately").
 		task := 0
@@ -310,7 +352,7 @@ func (s ObjectSFR) Render(sys *multigpu.System) multigpu.Metrics {
 			for oi := range f.Objects {
 				g := mem.GPMID(task % n)
 				task++
-				sys.Run(g, multigpu.Task{
+				plan.Submissions = append(plan.Submissions, driver.Submission{GPM: g, Task: multigpu.Task{
 					Parts: []multigpu.TaskPart{{
 						Object: &f.Objects[oi], Mode: pipeline.ModeSingleView,
 						GeomFrac: 1, FragFrac: 1,
@@ -325,11 +367,9 @@ func (s ObjectSFR) Render(sys *multigpu.System) multigpu.Metrics {
 					ShipExact:    true,
 					Prefetch:     true,
 					Color:        multigpu.ColorLocalStage,
-				})
+				}})
 			}
 		}
-		sys.ComposeToRoot(s.Root)
-		sys.EndFrame()
-	}
-	return sys.Collect(s.Name())
+		return plan
+	}), driver.Profile{}
 }

@@ -104,8 +104,23 @@ func (f *Frame) FragsPerView() float64 {
 	return t
 }
 
+// Capacity pre-declares the allocation envelope of a scene whose frames
+// arrive incrementally (a frame stream): the simulator sizes its vertex
+// buffers and command staging at bind time, so a streamed scene must say
+// up front how large its frames can get. Generators that materialize every
+// frame may leave it zero — the envelope is then derived from the frames.
+type Capacity struct {
+	// MaxObjects is the largest per-frame draw count.
+	MaxObjects int
+	// VertexBytes[i] is the vertex-buffer footprint allocated for object
+	// index i (the largest that object gets in any frame).
+	VertexBytes []int64
+}
+
 // Scene is a full workload: a texture pool and a frame sequence rendered at
-// a given per-eye resolution.
+// a given per-eye resolution. A *streamed* scene carries the texture pool
+// and a declared Capacity but no materialized Frames; its frames are
+// submitted one at a time to a rendering session.
 type Scene struct {
 	// Name identifies the benchmark ("HL2-1280", ...).
 	Name string
@@ -113,8 +128,43 @@ type Scene struct {
 	Width, Height int
 	// Textures is the shared texture pool.
 	Textures []Texture
-	// Frames is the frame sequence.
+	// Frames is the frame sequence (empty for streamed scenes).
 	Frames []Frame
+	// Capacity is the streamed-scene allocation envelope; zero derives the
+	// envelope from Frames.
+	Capacity Capacity
+}
+
+// MaxObjects returns the largest per-frame draw count the simulator must
+// accommodate: the declared capacity and the materialized frames, combined.
+func (s *Scene) MaxObjects() int {
+	n := s.Capacity.MaxObjects
+	if len(s.Capacity.VertexBytes) > n {
+		n = len(s.Capacity.VertexBytes)
+	}
+	for fi := range s.Frames {
+		if len(s.Frames[fi].Objects) > n {
+			n = len(s.Frames[fi].Objects)
+		}
+	}
+	return n
+}
+
+// VertexCapacities returns the per-object-index vertex-buffer allocation
+// sizes: the declared capacity joined with the largest footprint each
+// object index reaches across materialized frames.
+func (s *Scene) VertexCapacities() []int64 {
+	out := make([]int64, s.MaxObjects())
+	copy(out, s.Capacity.VertexBytes)
+	for fi := range s.Frames {
+		objs := s.Frames[fi].Objects
+		for i := range objs {
+			if vb := objs[i].VertexBytes(); vb > out[i] {
+				out[i] = vb
+			}
+		}
+	}
+	return out
 }
 
 // Stereo returns the side-by-side stereo viewport pair for the scene.

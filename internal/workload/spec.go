@@ -11,10 +11,8 @@ package workload
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 
-	"oovr/internal/geom"
 	"oovr/internal/scene"
 )
 
@@ -167,193 +165,21 @@ func CaseByName(name string) (Case, bool) {
 
 // Generate synthesizes a scene of the given frame count at the given
 // per-eye resolution. The same (spec, resolution, frames, seed) always
-// yields the identical scene.
+// yields the identical scene. Generate is the batch form of Stream: it
+// drains the frame stream to completion, so batch and streamed runs see
+// identical frames.
 func (sp Spec) Generate(width, height, frames int, seed int64) *scene.Scene {
 	if frames <= 0 {
 		panic("workload: frames must be positive")
 	}
-	rng := rand.New(rand.NewSource(seed ^ int64(len(sp.Abbr))*7919 ^ int64(width)*31 ^ int64(height)*17))
-
-	s := &scene.Scene{
-		Name:   fmt.Sprintf("%s-%d", sp.Abbr, width),
-		Width:  width,
-		Height: height,
-	}
-
-	// Texture pool: lognormal sizes around MeanTextureKB.
-	nTex := sp.TextureCount
-	commonTex := nTex / 12
-	if commonTex < 2 {
-		commonTex = 2
-	}
-	mu := math.Log(sp.MeanTextureKB*1024) - sp.TexSigma*sp.TexSigma/2
-	for i := 0; i < nTex; i++ {
-		size := int64(math.Exp(rng.NormFloat64()*sp.TexSigma + mu))
-		if size < 16*1024 {
-			size = 16 * 1024
+	st := sp.Stream(width, height, frames, seed)
+	s := st.Header()
+	for {
+		f, ok := st.Next()
+		if !ok {
+			break
 		}
-		name := fmt.Sprintf("tex%03d", i)
-		if i < commonTex {
-			name = fmt.Sprintf("common%02d", i)
-		}
-		s.Textures = append(s.Textures, scene.Texture{ID: scene.TextureID(i), Name: name, Bytes: size})
-	}
-
-	// Cluster membership: the non-common textures are divided round-robin
-	// among the material clusters.
-	clusterTex := make([][]scene.TextureID, sp.Clusters)
-	for i := commonTex; i < nTex; i++ {
-		c := (i - commonTex) % sp.Clusters
-		clusterTex[c] = append(clusterTex[c], scene.TextureID(i))
-	}
-
-	// One private material texture per draw, appended after the shared pool.
-	privateTex := make([]scene.TextureID, sp.Draws)
-	muPriv := math.Log(sp.PrivateTexKB*1024) - sp.TexSigma*sp.TexSigma/2
-	for i := 0; i < sp.Draws; i++ {
-		size := int64(math.Exp(rng.NormFloat64()*sp.TexSigma + muPriv))
-		if size < 16*1024 {
-			size = 16 * 1024
-		}
-		id := scene.TextureID(len(s.Textures))
-		s.Textures = append(s.Textures, scene.Texture{ID: id, Name: fmt.Sprintf("priv%04d", i), Bytes: size})
-		privateTex[i] = id
-	}
-
-	// The scene's object set is built once: a game renders the same meshes
-	// and textures every frame. Subsequent frames are camera-jittered
-	// copies (fragment counts scale a little, bounds pan slightly); the
-	// draw list, texture bindings and dependencies stay fixed.
-	{
-		fi := 0
-		frame := scene.Frame{Index: fi}
-		jitter := 1.0
-
-		// Draw complexity weights (lognormal) for triangles and coverage.
-		triMu := math.Log(sp.MeanTriangles) - sp.TriSigma*sp.TriSigma/2
-		weights := make([]float64, sp.Draws)
-		tris := make([]int, sp.Draws)
-		yfracs := make([]float64, sp.Draws)
-		var weightSum float64
-		for i := 0; i < sp.Draws; i++ {
-			t := math.Exp(rng.NormFloat64()*sp.TriSigma + triMu)
-			if t < 8 {
-				t = 8
-			}
-			tris[i] = int(t)
-			// Bottom-heavy vertical placement: floors, walls and props sit
-			// low in the frame, the sky rows are nearly empty. Fragment
-			// mass correlates with it, which is what load-imbalances
-			// horizontal tile strips.
-			u := rng.Float64()
-			yfracs[i] = 1 - math.Pow(u, 1.6)
-			// Screen coverage correlates with triangle count sub-linearly:
-			// detailed meshes are not proportionally bigger on screen.
-			w := math.Pow(t, 0.85) * math.Exp(0.55*rng.NormFloat64()) * (0.6 + 0.8*yfracs[i])
-			weights[i] = w
-			weightSum += w
-		}
-		totalFrags := float64(width*height) * sp.Overdraw * jitter
-
-		for i := 0; i < sp.Draws; i++ {
-			frags := totalFrags * weights[i] / weightSum
-			o := scene.Object{
-				Index:        i,
-				Name:         fmt.Sprintf("draw%04d", i),
-				Triangles:    tris[i],
-				Vertices:     tris[i] * 3 * 2 / 3, // indexed meshes reuse vertices
-				FragsPerView: frags,
-				DependsOn:    scene.NoDependency,
-			}
-			if o.Vertices < 3 {
-				o.Vertices = 3
-			}
-
-			// Screen bounds sized from coverage (uniform density model).
-			// Big objects are wide and flat (floors, walls, terrain): they
-			// span many vertical strips but sit inside one or two horizontal
-			// rows, which is why horizontal tiling mishandles them.
-			sizeRank := weights[i] / (weightSum / float64(sp.Draws))
-			wideness := math.Pow(sizeRank, 0.6)
-			if wideness > 6 {
-				wideness = 6
-			}
-			aspect := (0.6 + 1.4*wideness) * (0.7 + 0.6*rng.Float64())
-			bw := math.Sqrt(frags / sp.Overdraw * aspect)
-			bh := math.Sqrt(frags / sp.Overdraw / aspect)
-			if bw < 1 {
-				bw = 1
-			}
-			if bh < 1 {
-				bh = 1
-			}
-			if bw > float64(width) {
-				bw = float64(width)
-			}
-			if bh > float64(height) {
-				bh = float64(height)
-			}
-			x := rng.Float64() * (float64(width) - bw)
-			y := yfracs[i] * (float64(height) - bh)
-			o.Bounds = geom.AABB{
-				Min: geom.Vec2{X: x, Y: y},
-				Max: geom.Vec2{X: x + bw, Y: y + bh},
-			}
-
-			// Every object samples its private material texture first, then
-			// its cluster's shared textures, then possibly a common texture.
-			o.Textures = append(o.Textures, privateTex[i])
-			cluster := clusterOf(rng, sp, i)
-			nRefs := 1 + int(rng.ExpFloat64()*(sp.TexturesPerObject-1)+0.5)
-			if nRefs < 1 {
-				nRefs = 1
-			}
-			if nRefs > 3 {
-				nRefs = 3
-			}
-			pool := clusterTex[cluster]
-			seen := map[scene.TextureID]bool{}
-			for r := 0; r < nRefs && len(pool) > 0; r++ {
-				tid := pool[rng.Intn(len(pool))]
-				if !seen[tid] {
-					o.Textures = append(o.Textures, tid)
-					seen[tid] = true
-				}
-			}
-			if rng.Float64() < sp.CommonTextureFrac {
-				tid := scene.TextureID(rng.Intn(commonTex))
-				if !seen[tid] {
-					o.Textures = append(o.Textures, tid)
-				}
-			}
-
-			if i > 0 && rng.Float64() < sp.DependencyFrac {
-				o.DependsOn = i - 1
-			}
-			frame.Objects = append(frame.Objects, o)
-		}
-		s.Frames = append(s.Frames, frame)
-	}
-	for fi := 1; fi < frames; fi++ {
-		base := &s.Frames[0]
-		frame := scene.Frame{Index: fi, Objects: make([]scene.Object, len(base.Objects))}
-		jitter := 1 + 0.05*rng.NormFloat64()
-		if jitter < 0.85 {
-			jitter = 0.85
-		}
-		dx := rng.NormFloat64() * 4
-		dy := rng.NormFloat64() * 2
-		viewRect := geom.AABB{Max: geom.Vec2{X: float64(width), Y: float64(height)}}
-		for oi := range base.Objects {
-			o := base.Objects[oi] // copy
-			o.FragsPerView *= jitter * (1 + 0.03*rng.NormFloat64())
-			if o.FragsPerView < 0 {
-				o.FragsPerView = 0
-			}
-			o.Bounds = o.Bounds.Translate(geom.Vec2{X: dx, Y: dy}).Clamp(viewRect)
-			frame.Objects[oi] = o
-		}
-		s.Frames = append(s.Frames, frame)
+		s.Frames = append(s.Frames, *f)
 	}
 	s.Validate()
 	return s

@@ -1,0 +1,272 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"oovr/internal/geom"
+	"oovr/internal/scene"
+)
+
+// Stream generates a benchmark's frames one at a time, so a scene never
+// needs full materialization: the constructor synthesizes the texture pool
+// and the object set (frame 0), and every Next call derives the following
+// camera-jittered frame on demand. Header returns the bindable scene
+// header — textures, resolution and the declared allocation Capacity, no
+// frames — which is what a streaming rendering session (driver.Open +
+// SubmitFrame) binds its system to.
+//
+// Generate is Stream drained to completion, so a streamed run sees exactly
+// the frames a batch run sees: same PRNG, same draw order, same jitter.
+type Stream struct {
+	spec          Spec
+	width, height int
+	frames        int // <= 0 means unbounded
+	rng           *rand.Rand
+	header        scene.Scene
+	base          scene.Frame
+	next          int
+
+	// Motion, when set, drives the per-frame camera pan (dx, dy in pixels)
+	// instead of the generator's random walk — the hook head-motion traces
+	// plug into. Setting it changes the stream away from Generate's output
+	// (the random pan draws are skipped); fragment-level jitter still
+	// applies.
+	Motion func(fi int) (dx, dy float64)
+}
+
+// Stream opens a frame stream at the given per-eye resolution. frames <= 0
+// streams without bound (the multi-user serving scenario); otherwise the
+// stream ends after the given count. The same (spec, resolution, frames,
+// seed) prefix always yields identical frames.
+func (sp Spec) Stream(width, height, frames int, seed int64) *Stream {
+	rng := rand.New(rand.NewSource(seed ^ int64(len(sp.Abbr))*7919 ^ int64(width)*31 ^ int64(height)*17))
+
+	st := &Stream{spec: sp, width: width, height: height, frames: frames, rng: rng}
+	st.header = scene.Scene{
+		Name:   fmt.Sprintf("%s-%d", sp.Abbr, width),
+		Width:  width,
+		Height: height,
+	}
+
+	// Texture pool: lognormal sizes around MeanTextureKB.
+	nTex := sp.TextureCount
+	commonTex := nTex / 12
+	if commonTex < 2 {
+		commonTex = 2
+	}
+	mu := math.Log(sp.MeanTextureKB*1024) - sp.TexSigma*sp.TexSigma/2
+	for i := 0; i < nTex; i++ {
+		size := int64(math.Exp(rng.NormFloat64()*sp.TexSigma + mu))
+		if size < 16*1024 {
+			size = 16 * 1024
+		}
+		name := fmt.Sprintf("tex%03d", i)
+		if i < commonTex {
+			name = fmt.Sprintf("common%02d", i)
+		}
+		st.header.Textures = append(st.header.Textures, scene.Texture{ID: scene.TextureID(i), Name: name, Bytes: size})
+	}
+
+	// Cluster membership: the non-common textures are divided round-robin
+	// among the material clusters.
+	clusterTex := make([][]scene.TextureID, sp.Clusters)
+	for i := commonTex; i < nTex; i++ {
+		c := (i - commonTex) % sp.Clusters
+		clusterTex[c] = append(clusterTex[c], scene.TextureID(i))
+	}
+
+	// One private material texture per draw, appended after the shared pool.
+	privateTex := make([]scene.TextureID, sp.Draws)
+	muPriv := math.Log(sp.PrivateTexKB*1024) - sp.TexSigma*sp.TexSigma/2
+	for i := 0; i < sp.Draws; i++ {
+		size := int64(math.Exp(rng.NormFloat64()*sp.TexSigma + muPriv))
+		if size < 16*1024 {
+			size = 16 * 1024
+		}
+		id := scene.TextureID(len(st.header.Textures))
+		st.header.Textures = append(st.header.Textures, scene.Texture{ID: id, Name: fmt.Sprintf("priv%04d", i), Bytes: size})
+		privateTex[i] = id
+	}
+
+	// The scene's object set is built once: a game renders the same meshes
+	// and textures every frame. Subsequent frames are camera-jittered
+	// copies (fragment counts scale a little, bounds pan slightly); the
+	// draw list, texture bindings and dependencies stay fixed.
+	st.base = st.buildBaseFrame(clusterTex, privateTex, commonTex)
+
+	// The allocation envelope: the object set is frame-invariant except
+	// for fragment counts and bounds, so frame 0 declares it exactly.
+	vcaps := make([]int64, len(st.base.Objects))
+	for i := range st.base.Objects {
+		vcaps[i] = st.base.Objects[i].VertexBytes()
+	}
+	st.header.Capacity = scene.Capacity{MaxObjects: len(st.base.Objects), VertexBytes: vcaps}
+	return st
+}
+
+// buildBaseFrame synthesizes frame 0 — the draw list every later frame
+// jitters.
+func (st *Stream) buildBaseFrame(clusterTex [][]scene.TextureID, privateTex []scene.TextureID, commonTex int) scene.Frame {
+	sp, rng, width, height := st.spec, st.rng, st.width, st.height
+	frame := scene.Frame{Index: 0}
+	jitter := 1.0
+
+	// Draw complexity weights (lognormal) for triangles and coverage.
+	triMu := math.Log(sp.MeanTriangles) - sp.TriSigma*sp.TriSigma/2
+	weights := make([]float64, sp.Draws)
+	tris := make([]int, sp.Draws)
+	yfracs := make([]float64, sp.Draws)
+	var weightSum float64
+	for i := 0; i < sp.Draws; i++ {
+		t := math.Exp(rng.NormFloat64()*sp.TriSigma + triMu)
+		if t < 8 {
+			t = 8
+		}
+		tris[i] = int(t)
+		// Bottom-heavy vertical placement: floors, walls and props sit
+		// low in the frame, the sky rows are nearly empty. Fragment
+		// mass correlates with it, which is what load-imbalances
+		// horizontal tile strips.
+		u := rng.Float64()
+		yfracs[i] = 1 - math.Pow(u, 1.6)
+		// Screen coverage correlates with triangle count sub-linearly:
+		// detailed meshes are not proportionally bigger on screen.
+		w := math.Pow(t, 0.85) * math.Exp(0.55*rng.NormFloat64()) * (0.6 + 0.8*yfracs[i])
+		weights[i] = w
+		weightSum += w
+	}
+	totalFrags := float64(width*height) * sp.Overdraw * jitter
+
+	for i := 0; i < sp.Draws; i++ {
+		frags := totalFrags * weights[i] / weightSum
+		o := scene.Object{
+			Index:        i,
+			Name:         fmt.Sprintf("draw%04d", i),
+			Triangles:    tris[i],
+			Vertices:     tris[i] * 3 * 2 / 3, // indexed meshes reuse vertices
+			FragsPerView: frags,
+			DependsOn:    scene.NoDependency,
+		}
+		if o.Vertices < 3 {
+			o.Vertices = 3
+		}
+
+		// Screen bounds sized from coverage (uniform density model).
+		// Big objects are wide and flat (floors, walls, terrain): they
+		// span many vertical strips but sit inside one or two horizontal
+		// rows, which is why horizontal tiling mishandles them.
+		sizeRank := weights[i] / (weightSum / float64(sp.Draws))
+		wideness := math.Pow(sizeRank, 0.6)
+		if wideness > 6 {
+			wideness = 6
+		}
+		aspect := (0.6 + 1.4*wideness) * (0.7 + 0.6*rng.Float64())
+		bw := math.Sqrt(frags / sp.Overdraw * aspect)
+		bh := math.Sqrt(frags / sp.Overdraw / aspect)
+		if bw < 1 {
+			bw = 1
+		}
+		if bh < 1 {
+			bh = 1
+		}
+		if bw > float64(width) {
+			bw = float64(width)
+		}
+		if bh > float64(height) {
+			bh = float64(height)
+		}
+		x := rng.Float64() * (float64(width) - bw)
+		y := yfracs[i] * (float64(height) - bh)
+		o.Bounds = geom.AABB{
+			Min: geom.Vec2{X: x, Y: y},
+			Max: geom.Vec2{X: x + bw, Y: y + bh},
+		}
+
+		// Every object samples its private material texture first, then
+		// its cluster's shared textures, then possibly a common texture.
+		o.Textures = append(o.Textures, privateTex[i])
+		cluster := clusterOf(rng, sp, i)
+		nRefs := 1 + int(rng.ExpFloat64()*(sp.TexturesPerObject-1)+0.5)
+		if nRefs < 1 {
+			nRefs = 1
+		}
+		if nRefs > 3 {
+			nRefs = 3
+		}
+		pool := clusterTex[cluster]
+		seen := map[scene.TextureID]bool{}
+		for r := 0; r < nRefs && len(pool) > 0; r++ {
+			tid := pool[rng.Intn(len(pool))]
+			if !seen[tid] {
+				o.Textures = append(o.Textures, tid)
+				seen[tid] = true
+			}
+		}
+		if rng.Float64() < sp.CommonTextureFrac {
+			tid := scene.TextureID(rng.Intn(commonTex))
+			if !seen[tid] {
+				o.Textures = append(o.Textures, tid)
+			}
+		}
+
+		if i > 0 && rng.Float64() < sp.DependencyFrac {
+			o.DependsOn = i - 1
+		}
+		frame.Objects = append(frame.Objects, o)
+	}
+	return frame
+}
+
+// Header returns the bindable scene header: textures, resolution and the
+// declared capacity, with no materialized frames. Bind it with
+// multigpu.New and feed frames through a driver.Session. Each call returns
+// an independent copy — mutating one header never leaks into the stream or
+// into headers handed out earlier.
+func (st *Stream) Header() *scene.Scene {
+	h := st.header
+	h.Frames = nil
+	h.Textures = append([]scene.Texture(nil), st.header.Textures...)
+	h.Capacity.VertexBytes = append([]int64(nil), st.header.Capacity.VertexBytes...)
+	return &h
+}
+
+// Next returns the stream's next frame, or false when a bounded stream is
+// exhausted. The returned frame is the caller's to keep (a fresh copy each
+// call).
+func (st *Stream) Next() (*scene.Frame, bool) {
+	if st.frames > 0 && st.next >= st.frames {
+		return nil, false
+	}
+	fi := st.next
+	st.next++
+	if fi == 0 {
+		f := scene.Frame{Index: 0, Objects: make([]scene.Object, len(st.base.Objects))}
+		copy(f.Objects, st.base.Objects)
+		return &f, true
+	}
+	frame := scene.Frame{Index: fi, Objects: make([]scene.Object, len(st.base.Objects))}
+	jitter := 1 + 0.05*st.rng.NormFloat64()
+	if jitter < 0.85 {
+		jitter = 0.85
+	}
+	var dx, dy float64
+	if st.Motion != nil {
+		dx, dy = st.Motion(fi)
+	} else {
+		dx = st.rng.NormFloat64() * 4
+		dy = st.rng.NormFloat64() * 2
+	}
+	viewRect := geom.AABB{Max: geom.Vec2{X: float64(st.width), Y: float64(st.height)}}
+	for oi := range st.base.Objects {
+		o := st.base.Objects[oi] // copy
+		o.FragsPerView *= jitter * (1 + 0.03*st.rng.NormFloat64())
+		if o.FragsPerView < 0 {
+			o.FragsPerView = 0
+		}
+		o.Bounds = o.Bounds.Translate(geom.Vec2{X: dx, Y: dy}).Clamp(viewRect)
+		frame.Objects[oi] = o
+	}
+	return &frame, true
+}

@@ -33,6 +33,7 @@ import (
 	"io"
 
 	"oovr/internal/core"
+	"oovr/internal/driver"
 	"oovr/internal/experiments"
 	"oovr/internal/gpu"
 	"oovr/internal/mem"
@@ -70,10 +71,19 @@ type (
 	BenchmarkCase = workload.Case
 	// Scene is a generated workload: textures, frames, objects.
 	Scene = scene.Scene
+	// Frame is one rendered frame: an ordered draw list.
+	Frame = scene.Frame
 	// Object is one draw command.
 	Object = scene.Object
 	// Texture is one sampled image.
 	Texture = scene.Texture
+	// SceneCapacity is the allocation envelope a streamed scene declares
+	// in place of materialized frames.
+	SceneCapacity = scene.Capacity
+	// FrameStream generates a benchmark's frames one at a time
+	// (BenchmarkSpec.Stream); bind its Header with NewSystem and feed the
+	// frames through a Session.
+	FrameStream = workload.Stream
 )
 
 // Benchmarks returns the five Table 3 workload recipes.
@@ -136,10 +146,74 @@ const (
 	ColorPartitionOwned = multigpu.ColorPartitionOwned
 )
 
+// The frame-driver execution core: scheduling policy (Planner) is separate
+// from task execution (the frame loop behind Open/Run). A policy emits
+// per-frame Plans; the driver owns frame barriers or multi-frame
+// pipelining, composition, latency accounting and metrics collection, and
+// accepts frames either in batch (Run) or incrementally (Session).
+type (
+	// Planner is the pure-policy scheduling contract: Begin binds a run,
+	// then per-frame Plans describe task submissions, composition and
+	// framebuffer placement (see examples/custom_scheduler).
+	Planner = driver.Planner
+	// FramePlanner emits one run's frame plans.
+	FramePlanner = driver.FramePlanner
+	// Plan is one frame's execution recipe.
+	Plan = driver.Plan
+	// Submission is one task bound for a GPM.
+	Submission = driver.Submission
+	// Profile declares a run's execution envelope (frames-in-flight depth).
+	Profile = driver.Profile
+	// PlanFunc adapts a function to FramePlanner.
+	PlanFunc = driver.PlanFunc
+	// FrameLoop executes per-frame Plans on a bound system.
+	FrameLoop = driver.FrameLoop
+	// Session is a streaming rendering session: SubmitFrame accepts frames
+	// incrementally, Close returns the run's Metrics.
+	Session = driver.Session
+	// FBPlacement selects where a plan homes the framebuffer.
+	FBPlacement = driver.FBPlacement
+	// ComposeOp selects the composition pass that closes a frame.
+	ComposeOp = driver.ComposeOp
+)
+
+// Framebuffer placements for Plan.Framebuffer.
+const (
+	// FBStriped leaves the target NUMA-striped across all GPMs.
+	FBStriped = driver.FBStriped
+	// FBPartitioned splits the target into per-GPM partitions.
+	FBPartitioned = driver.FBPartitioned
+	// FBRoot homes the whole target on the plan's Root GPM.
+	FBRoot = driver.FBRoot
+)
+
+// Composition ops for Plan.Compose.
+const (
+	// ComposeNone ends the frame without a composition pass.
+	ComposeNone = driver.ComposeNone
+	// ComposeRoot assembles the frame on the Root GPM's ROPs.
+	ComposeRoot = driver.ComposeRoot
+	// ComposeDistributed runs OO-VR's distributed hardware composition.
+	ComposeDistributed = driver.ComposeDistributed
+	// ComposeDiscard drops staged pixels (private per-GPM frames).
+	ComposeDiscard = driver.ComposeDiscard
+)
+
+// Open starts a streaming session for planner p on sys: submit frames with
+// Session.SubmitFrame as they are produced and collect Metrics with Close.
+func Open(sys *System, p Planner) *Session { return driver.Open(sys, p) }
+
+// Run renders every materialized frame of the bound scene through the
+// frame driver — the batch entry point.
+func Run(sys *System, p Planner) Metrics { return driver.Run(sys, p) }
+
+// AsScheduler adapts a Planner to the legacy batch Scheduler interface.
+func AsScheduler(p Planner) Scheduler { return render.AsScheduler(p) }
+
 // Schedulers.
 type (
-	// Scheduler renders a bound scene and reports metrics. Implement it to
-	// plug a custom distribution strategy into the simulator (see
+	// Scheduler renders a bound scene and reports metrics — the batch shim
+	// over the frame driver; new policies should implement Planner (see
 	// examples/custom_scheduler).
 	Scheduler = render.Scheduler
 	// Baseline is the single-programming-model scheme of Section 2.3.
@@ -156,6 +230,8 @@ type (
 	OOApp = core.OOApp
 	// OOVR is the full software/hardware co-designed framework.
 	OOVR = core.OOVR
+	// EngineStats reports distribution-engine queue occupancy (OOVR.Stats).
+	EngineStats = core.EngineStats
 	// Middleware is the TSL batching middleware (Section 5.1).
 	Middleware = core.Middleware
 	// Batch is a TSL-grouped set of objects.

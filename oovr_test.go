@@ -50,6 +50,58 @@ func TestAllSchedulersRunViaPublicAPI(t *testing.T) {
 	}
 }
 
+// TestStreamingSessionViaPublicAPI renders a scene incrementally through
+// the façade's Session API and checks it matches batch mode.
+func TestStreamingSessionViaPublicAPI(t *testing.T) {
+	spec, _ := oovr.BenchmarkByAbbr("DM3")
+	batch := oovr.Run(oovr.NewSystem(oovr.DefaultOptions(), spec.Generate(640, 480, 3, 1)), oovr.NewOOVR())
+
+	st := spec.Stream(640, 480, 3, 1)
+	ses := oovr.Open(oovr.NewSystem(oovr.DefaultOptions(), st.Header()), oovr.NewOOVR())
+	for {
+		f, ok := st.Next()
+		if !ok {
+			break
+		}
+		ses.SubmitFrame(f)
+	}
+	m := ses.Close()
+	if m.TotalCycles != batch.TotalCycles || m.InterGPMBytes != batch.InterGPMBytes || m.Frames != batch.Frames {
+		t.Errorf("streamed session diverged from batch: %+v vs %+v", m, batch)
+	}
+}
+
+// TestCustomPlannerViaPublicAPI exercises the open Planner contract the
+// way examples/custom_scheduler does, including the legacy adapter.
+func TestCustomPlannerViaPublicAPI(t *testing.T) {
+	p := everythingOnGPM0{}
+	m := oovr.Run(oovr.NewSystem(oovr.DefaultOptions(), smallScene(t, 2)), p)
+	if m.Frames != 2 || m.Scheme != "GPM0" {
+		t.Errorf("planner run failed: %+v", m)
+	}
+	s := oovr.AsScheduler(p)
+	m2 := s.Render(oovr.NewSystem(oovr.DefaultOptions(), smallScene(t, 2)))
+	if m2.TotalCycles != m.TotalCycles {
+		t.Errorf("AsScheduler adapter diverged: %v vs %v", m2.TotalCycles, m.TotalCycles)
+	}
+}
+
+type everythingOnGPM0 struct{}
+
+func (everythingOnGPM0) Name() string { return "GPM0" }
+
+func (everythingOnGPM0) Begin(sys *oovr.System) (oovr.FramePlanner, oovr.Profile) {
+	return oovr.PlanFunc(func(f *oovr.Frame, fi int) oovr.Plan {
+		task := oovr.Task{Color: oovr.ColorStriped}
+		for oi := range f.Objects {
+			task.Parts = append(task.Parts, oovr.TaskPart{
+				Object: &f.Objects[oi], Mode: oovr.ModeBothSMP, GeomFrac: 1, FragFrac: 1,
+			})
+		}
+		return oovr.Plan{Submissions: []oovr.Submission{{GPM: 0, Task: task}}}
+	}), oovr.Profile{}
+}
+
 func TestPaperHeadlineOrderings(t *testing.T) {
 	// The paper's headline claims, on the real workload through the public
 	// API: OO-VR beats the baseline on single-frame latency and cuts

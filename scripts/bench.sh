@@ -3,11 +3,13 @@
 # PRs have a benchmark trajectory to compare against.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 3x)
+# Env:   OUT=path overrides the output file (scripts/bench_check.sh uses a
+#        temp file so the checked-in snapshot is never clobbered).
 set -eu
 
 cd "$(dirname "$0")/.."
 benchtime="${1:-3x}"
-out="BENCH_$(date +%Y-%m-%d).json"
+out="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
 
 raw=$(go test -run '^$' -bench . -benchtime "$benchtime" .)
 

@@ -1,0 +1,49 @@
+#!/bin/sh
+# bench_check.sh — benchmark-regression gate (used by CI).
+#
+# Runs the benchmark suite into a temp snapshot and compares the
+# BenchmarkSimulatorFrame hot path against the newest checked-in
+# BENCH_*.json baseline; exits non-zero when the hot path is more than
+# MAX_SLOWDOWN_PCT percent slower.
+#
+# Usage: scripts/bench_check.sh [benchtime]   (default 3x)
+# Env:   BASELINE=path   override baseline selection
+#        MAX_SLOWDOWN_PCT=N   regression threshold (default 20)
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-3x}"
+threshold="${MAX_SLOWDOWN_PCT:-20}"
+
+baseline="${BASELINE:-$(ls BENCH_*.json | sort | tail -n 1)}"
+if [ ! -f "$baseline" ]; then
+    echo "bench_check: no BENCH_*.json baseline found" >&2
+    exit 2
+fi
+
+fresh=$(mktemp /tmp/bench_fresh.XXXXXX.json)
+trap 'rm -f "$fresh"' EXIT
+OUT="$fresh" scripts/bench.sh "$benchtime" > /dev/null
+
+extract() {
+    # Pull BenchmarkSimulatorFrame's ns_per_op out of a snapshot without
+    # depending on jq.
+    sed -n 's/.*"BenchmarkSimulatorFrame", "ns_per_op": \([0-9.e+]*\).*/\1/p' "$1"
+}
+
+base_ns=$(extract "$baseline")
+new_ns=$(extract "$fresh")
+if [ -z "$base_ns" ] || [ -z "$new_ns" ]; then
+    echo "bench_check: BenchmarkSimulatorFrame missing from $baseline or the fresh run" >&2
+    exit 2
+fi
+
+awk -v base="$base_ns" -v new="$new_ns" -v pct="$threshold" -v from="$baseline" 'BEGIN {
+    change = (new - base) / base * 100
+    printf "BenchmarkSimulatorFrame: %.0f ns/op vs %.0f ns/op in %s (%+.1f%%)\n", new, base, from, change
+    if (change > pct) {
+        printf "FAIL: hot path regressed more than %g%%\n", pct
+        exit 1
+    }
+    print "OK: within the regression budget"
+}'
