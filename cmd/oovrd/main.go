@@ -1,0 +1,48 @@
+// Command oovrd serves the simulator as a job service: POST a RunSpec
+// (JSON), get a canonical Result back. A bounded worker pool executes the
+// simulations; finished Results are cached content-addressed on the
+// canonical spec encoding, so resubmitting an identical spec returns the
+// stored bytes (X-Oovrd-Cache: hit) without running anything.
+//
+// Usage:
+//
+//	oovrd [-addr :8037] [-workers N] [-cache 4096]
+//
+// Quick start:
+//
+//	oovrd &
+//	oovrsim -bench HL2-1280 -scheme oovr -dump-spec > spec.json
+//	curl -s -d @spec.json localhost:8037/run | jq .metrics.TotalCycles
+//	curl -s localhost:8037/schedulers
+//
+// See internal/server for the endpoint list and README.md for a walkthrough.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+
+	"oovr/internal/server"
+	"oovr/internal/spec"
+)
+
+func main() {
+	addr := flag.String("addr", ":8037", "listen address")
+	workers := flag.Int("workers", runtime.NumCPU(), "concurrent simulations (the worker pool bound)")
+	cache := flag.Int("cache", 4096, "max cached results (negative disables the cache)")
+	flag.Parse()
+
+	srv := server.New(server.Options{Workers: *workers, CacheEntries: *cache})
+	fmt.Printf("oovrd listening on %s (%d workers, cache %d)\n", *addr, *workers, *cache)
+	fmt.Printf("  schedulers: %s\n", strings.Join(spec.PlannerNames(), ", "))
+	fmt.Printf("  workloads:  %s\n", strings.Join(spec.WorkloadNames(), ", "))
+	fmt.Printf("  layouts:    %s\n", strings.Join(spec.LayoutNames(), ", "))
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -5,6 +5,16 @@
 //
 //	oovrfigures [-exp all|T1|T2|T3|E0|F4|F7|F8|F9|F10|F15|F16|F17|F18|O1|BRK|A1|A2|A3|A4]
 //	            [-frames N] [-seed S] [-csv] [-parallel N]
+//	            [-spec file.json] [-dump-spec]
+//
+// Every simulation the harness performs is a declarative RunSpec
+// underneath. -spec uses a stored RunSpec as the run template — its
+// hardware options, frames, seed and (when it names one) its workload
+// drive the selected experiments, with explicit flags still winning.
+// -dump-spec prints the job matrix for the experiments -exp selected (the
+// schemes each figure evaluates, over the selected cases, as a JSON array
+// of RunSpecs) and exits; POST it to the oovrd job server's /batch
+// endpoint to compute the figures' raw metrics remotely.
 //
 // -parallel spreads independent simulation cases across N worker
 // goroutines (default: all CPUs). Each case binds its own simulator
@@ -20,10 +30,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 
 	"oovr/internal/experiments"
 	"oovr/internal/gpu"
+	"oovr/internal/spec"
 	"oovr/internal/stats"
 	"oovr/internal/workload"
 )
@@ -34,14 +46,23 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload synthesis seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "simulation worker goroutines (output is identical for any value)")
+	specPath := flag.String("spec", "", "RunSpec file used as the experiment template (hardware, frames, seed, workload)")
+	dumpSpec := flag.Bool("dump-spec", false, "print the scheduler-by-case job matrix as a RunSpec array and exit")
 	flag.Parse()
 
 	opt := experiments.Options{Frames: *frames, Seed: *seed, Parallel: *parallel}
+	if *specPath != "" {
+		applyTemplate(&opt, *specPath)
+	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
 		want[strings.ToUpper(strings.TrimSpace(e))] = true
 	}
 	all := want["ALL"]
+	if *dumpSpec {
+		dumpMatrix(opt, want, all)
+		return
+	}
 	sel := func(id string) bool { return all || want[id] }
 	emit := func(f stats.Figure) {
 		if *csv {
@@ -112,6 +133,90 @@ func main() {
 		fmt.Fprintln(os.Stderr, "unexpected arguments:", flag.Args())
 		os.Exit(2)
 	}
+}
+
+// applyTemplate folds a stored RunSpec into the harness options: its
+// hardware always applies; its frames/seed apply unless the matching flag
+// was set explicitly; a named workload narrows the case list to that one
+// benchmark at the spec's resolution.
+func applyTemplate(opt *experiments.Options, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	s, err := spec.Decode(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	n, err := s.Normalized()
+	if err != nil {
+		fail(err)
+	}
+	if err := s.ValidateHardware(); err != nil {
+		fail(err)
+	}
+	// The harness has no per-run placement knob; refuse a template that
+	// declares one rather than silently running every figure striped.
+	// (stream is ignored legitimately: metrics are identical either way.)
+	if n.Placement != "striped" {
+		fail(fmt.Errorf("-spec template placement %q is not supported by the harness (figures run striped)", n.Placement))
+	}
+	set := map[string]bool{}
+	flag.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
+	opt.System = n.Hardware
+	// Only an explicit template value overrides the harness defaults: the
+	// spec-normalized frame count (4) differs from the harness's own
+	// default (6), so a template that never mentions frames must not
+	// silently re-anchor every figure.
+	if !set["frames"] && s.Frames != 0 {
+		opt.Frames = s.Frames
+	}
+	if !set["seed"] && s.Seed != 0 {
+		opt.Seed = s.Seed
+	}
+	if s.Workload.Name != "" || s.Workload.Inline != nil {
+		// Only the workload matters here; the template's scheduler may
+		// name a policy this binary never registered.
+		c, err := n.ResolveWorkload()
+		if err != nil {
+			fail(err)
+		}
+		opt.Cases = []workload.Case{c}
+	}
+}
+
+// dumpMatrix prints the job list for the selected experiments — the union
+// of their scheduler sets (experiments.FigureSchedulers) over the selected
+// cases — one canonical RunSpec per line, wrapped as a JSON array for
+// oovrd's /batch. With -exp all it covers the seven comparison schemes.
+func dumpMatrix(opt experiments.Options, want map[string]bool, all bool) {
+	var scheds []string
+	if !all {
+		seen := map[string]bool{}
+		for id := range want {
+			for _, s := range experiments.FigureSchedulers(id) {
+				if !seen[s] {
+					seen[s] = true
+					scheds = append(scheds, s)
+				}
+			}
+		}
+		sort.Strings(scheds)
+		if len(scheds) == 0 {
+			fail(fmt.Errorf("-dump-spec: the selected experiments run no flat scheduler-by-case matrix"))
+		}
+	}
+	b, err := spec.EncodeArray(experiments.SpecMatrix(opt, scheds))
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(string(b))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
 }
 
 func printTable1() {

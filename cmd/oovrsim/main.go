@@ -5,11 +5,19 @@
 // Usage:
 //
 //	oovrsim [-bench HL2-1280] [-scheme oovr] [-gpms 4] [-link 64]
-//	        [-frames 4] [-seed 1] [-all] [-parallel N]
+//	        [-frames 4] [-seed 1] [-placement striped] [-all] [-parallel N]
+//	        [-spec file.json] [-dump-spec]
 //
-// Schemes: baseline, afr, tilev, tileh, object, ooapp, oovr. With -all,
-// -parallel runs the schedulers' simulations concurrently (each binds its
-// own system, so the printed comparison is identical to a serial run).
+// Every run is a declarative RunSpec underneath: the flags are a thin
+// translation layer, -dump-spec prints the spec a flag set denotes (ready
+// to POST to the oovrd job server), and -spec runs a spec from a file
+// instead of the flags. Scheduler, benchmark and placement names resolve
+// through the component registries, so a policy registered by user code is
+// addressable here without touching this command.
+//
+// With -all, every registered scheduler runs and prints a comparison;
+// -parallel bounds the concurrent simulations (each binds its own system,
+// so the printed table is identical to a serial run).
 package main
 
 import (
@@ -17,118 +25,135 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strings"
-	"sync"
 
-	"oovr/internal/core"
-	"oovr/internal/driver"
 	"oovr/internal/multigpu"
-	"oovr/internal/render"
-	"oovr/internal/workload"
+	"oovr/internal/par"
+	"oovr/internal/spec"
 )
-
-func schedulerByName(name string) (driver.Planner, bool) {
-	switch strings.ToLower(name) {
-	case "baseline":
-		return render.Baseline{}, true
-	case "afr", "frame", "frame-level":
-		return render.DefaultAFR(), true
-	case "tilev", "tile-v":
-		return render.TileV{}, true
-	case "tileh", "tile-h":
-		return render.TileH{}, true
-	case "object", "object-level":
-		return render.ObjectSFR{}, true
-	case "ooapp", "oo_app":
-		return core.NewOOApp(), true
-	case "oovr", "oo-vr":
-		return core.NewOOVR(), true
-	default:
-		return nil, false
-	}
-}
 
 func main() {
 	bench := flag.String("bench", "HL2-1280", "benchmark case (e.g. DM3-640, HL2-1280, NFS, UT3, WE)")
-	scheme := flag.String("scheme", "oovr", "scheduler: baseline|afr|tilev|tileh|object|ooapp|oovr")
+	scheme := flag.String("scheme", "oovr", "registered scheduler name")
 	gpms := flag.Int("gpms", 4, "number of GPMs")
 	linkGBs := flag.Float64("link", 64, "inter-GPM link bandwidth, GB/s per direction")
 	frames := flag.Int("frames", 4, "frames to render")
-	seed := flag.Int64("seed", 1, "workload synthesis seed")
-	all := flag.Bool("all", false, "run every scheduler and print a comparison")
+	seed := flag.Int64("seed", 1, "workload synthesis seed (0 normalizes to 1)")
+	placement := flag.String("placement", "striped", "registered initial shared-data layout")
+	all := flag.Bool("all", false, "run every registered scheduler and print a comparison")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "with -all: worker goroutines (output is identical for any value)")
+	specPath := flag.String("spec", "", "run this RunSpec file instead of translating the flags")
+	dumpSpec := flag.Bool("dump-spec", false, "print the run's RunSpec (JSON) and exit without simulating")
 	flag.Parse()
-
-	c, ok := workload.CaseByName(*bench)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q; known cases:", *bench)
-		for _, k := range workload.Cases() {
-			fmt.Fprintf(os.Stderr, " %s", k.Name)
-		}
-		fmt.Fprintln(os.Stderr)
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "unexpected arguments:", flag.Args())
 		os.Exit(2)
 	}
 
-	opt := multigpu.DefaultOptions()
-	opt.Config = opt.Config.WithGPMs(*gpms).WithLinkGBs(*linkGBs)
-
-	run := func(p driver.Planner) multigpu.Metrics {
-		// Frames stream through a driver session exactly as a serving
-		// system would feed them; the result is identical to batch mode.
-		st := c.Spec.Stream(c.Width, c.Height, *frames, *seed)
-		ses := driver.Open(multigpu.New(opt, st.Header()), p)
-		for {
-			f, ok := st.Next()
-			if !ok {
-				break
-			}
-			ses.SubmitFrame(f)
+	// The flags translate to a RunSpec; -spec short-circuits the
+	// translation with a stored one.
+	var base spec.RunSpec
+	if *specPath != "" {
+		f, err := os.Open(*specPath)
+		if err != nil {
+			fail(err)
 		}
-		return ses.Close()
+		base, err = spec.Decode(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		opt := multigpu.DefaultOptions()
+		opt.Config = opt.Config.WithGPMs(*gpms).WithLinkGBs(*linkGBs)
+		base = spec.RunSpec{
+			Workload:  spec.WorkloadRef{Name: *bench},
+			Scheduler: spec.SchedulerRef{Name: *scheme},
+			Hardware:  &opt,
+			Placement: *placement,
+			Frames:    *frames,
+			Seed:      *seed,
+			// Frames stream through a driver session exactly as a serving
+			// system would feed them; the result is identical to batch mode.
+			Stream: true,
+		}
 	}
 
+	specs := []spec.RunSpec{base}
 	if *all {
-		names := []string{"baseline", "afr", "tilev", "tileh", "object", "ooapp", "oovr"}
-		// Each scheduler simulates on its own system, so the comparison rows
-		// compute concurrently; printing stays in scheme order.
-		ms := make([]multigpu.Metrics, len(names))
-		workers := *parallel
-		if workers < 1 {
-			workers = 1
-		}
-		sem := make(chan struct{}, workers)
-		var wg sync.WaitGroup
+		names := spec.PlannerNames()
+		specs = make([]spec.RunSpec, len(names))
 		for i, n := range names {
-			s, _ := schedulerByName(n)
-			wg.Add(1)
-			go func(i int, s driver.Planner) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				ms[i] = run(s)
-			}(i, s)
+			s := base
+			s.Scheduler = spec.SchedulerRef{Name: n}
+			specs[i] = s
 		}
-		wg.Wait()
-		fmt.Printf("%s  %d GPMs  %g GB/s links  %d frames\n\n", c.Name, *gpms, *linkGBs, *frames)
+	}
+
+	// Resolve everything up front: an unknown name reports the registered
+	// alternatives before any simulation starts, and each spec resolves
+	// exactly once.
+	runs := make([]*spec.Run, len(specs))
+	for i, s := range specs {
+		r, err := s.Resolve()
+		if err != nil {
+			fail(err)
+		}
+		runs[i] = r
+	}
+
+	if *dumpSpec {
+		dump(specs, *all)
+		return
+	}
+
+	ms := make([]multigpu.Metrics, len(specs))
+	// Each scheduler simulates on its own system, so the comparison rows
+	// compute concurrently; printing stays in registry order.
+	par.ForEach(*parallel, len(runs), func(i int) {
+		ms[i] = runs[i].Execute()
+	})
+
+	if *all {
+		n, err := base.Normalized()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s  %d GPMs  %g GB/s links  %d frames\n\n",
+			ms[0].Workload, n.Hardware.Config.NumGPMs, n.Hardware.Config.InterGPMLinkGBs, n.Frames)
 		fmt.Printf("%-16s %14s %14s %14s %10s\n", "scheme", "cycles/frame", "frame latency", "inter-GPM MB", "busy max/min")
-		for i := range names {
-			m := ms[i]
+		for _, m := range ms {
 			fmt.Printf("%-16s %14.0f %14.0f %14.1f %10.2f\n",
 				m.Scheme, m.FPSCycles(), m.AvgFrameLatency(), m.InterGPMBytes/1e6, m.BestToWorstBusyRatio())
 		}
 		return
 	}
-
-	s, ok := schedulerByName(*scheme)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
-		os.Exit(2)
-	}
-	m := run(s)
-	printMetrics(m, *gpms)
+	printMetrics(ms[0])
 }
 
-func printMetrics(m multigpu.Metrics, gpms int) {
+// dump prints the runnable spec(s) as JSON — a single indented object for
+// one run, an array for -all — ready for oovrd's /run or /batch.
+func dump(specs []spec.RunSpec, many bool) {
+	if !many {
+		b, err := specs[0].Indent()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(string(b))
+		return
+	}
+	b, err := spec.EncodeArray(specs)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(string(b))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
+
+func printMetrics(m multigpu.Metrics) {
 	fmt.Printf("workload:          %s\n", m.Workload)
 	fmt.Printf("scheme:            %s\n", m.Scheme)
 	fmt.Printf("frames:            %d\n", m.Frames)
@@ -141,8 +166,8 @@ func printMetrics(m multigpu.Metrics, gpms int) {
 	}
 	fmt.Println()
 	fmt.Printf("GPM busy cycles:  ")
-	for g := 0; g < gpms && g < len(m.GPMBusyCycles); g++ {
-		fmt.Printf(" %.0f", m.GPMBusyCycles[g])
+	for _, b := range m.GPMBusyCycles {
+		fmt.Printf(" %.0f", b)
 	}
 	fmt.Printf("   (best-to-worst %.2f)\n", m.BestToWorstBusyRatio())
 	fmt.Printf("local DRAM bytes:  %.1f MB\n", m.LocalDRAMBytes/1e6)

@@ -1,12 +1,30 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"oovr/internal/core"
-	"oovr/internal/render"
+	"oovr/internal/spec"
 	"oovr/internal/stats"
 )
+
+// oovrParams serializes an OOVR variant into the registered "oovr"
+// factory's params (the factory's own struct, so the wire format cannot
+// drift), making every ablation run a plain RunSpec.
+func oovrParams(v core.OOVR) json.RawMessage {
+	b, err := json.Marshal(spec.OOVRParams{
+		TSLThreshold:          v.Middleware.TSLThreshold,
+		TriangleCap:           v.Middleware.TriangleCap,
+		DisablePredictor:      v.DisablePredictor,
+		DisableDHC:            v.DisableDHC,
+		DisableStragglerSplit: v.DisableStragglerSplit,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
 
 // The ablations isolate OO-VR's three mechanisms (DESIGN.md §4). Each
 // reports single-frame speedup over the baseline, averaged across cases,
@@ -64,7 +82,7 @@ func A4TSLSweep(o Options) stats.Figure {
 			v.Middleware.TriangleCap = cap
 			ratios := make([]float64, len(o.Cases))
 			o.forEach(len(o.Cases), func(ci int) {
-				m := runCase(o.Cases[ci], v, o.sysOptions(), o.Frames, o.Seed)
+				m := runCase(o.Cases[ci], "oovr", oovrParams(v), o.sysOptions(), o.Frames, o.Seed)
 				ratios[ci] = base[ci] / m.AvgFrameLatency()
 			})
 			labels = append(labels, fmt.Sprintf("th%.1f/cap%d", th, cap))
@@ -84,7 +102,7 @@ func baselineLatencies(o Options) []float64 {
 	o = o.defaults()
 	base := make([]float64, len(o.Cases))
 	o.forEach(len(o.Cases), func(ci int) {
-		base[ci] = runCase(o.Cases[ci], render.Baseline{}, o.sysOptions(), o.Frames, o.Seed).AvgFrameLatency()
+		base[ci] = runCase(o.Cases[ci], "baseline", nil, o.sysOptions(), o.Frames, o.Seed).AvgFrameLatency()
 	})
 	return base
 }
@@ -97,7 +115,7 @@ func ablationFigure(o Options, id, caption string, variants map[string]core.OOVR
 		v := variants[name]
 		vals := make([]float64, len(o.Cases))
 		o.forEach(len(o.Cases), func(ci int) {
-			m := runCase(o.Cases[ci], v, o.sysOptions(), o.Frames, o.Seed)
+			m := runCase(o.Cases[ci], "oovr", oovrParams(v), o.sysOptions(), o.Frames, o.Seed)
 			vals[ci] = base[ci] / m.AvgFrameLatency()
 		})
 		fig.AddSeries(name, vals)

@@ -135,11 +135,11 @@ func TestGoldenSchedulerDeterminism(t *testing.T) {
 	if !ok {
 		t.Fatal("missing benchmark case")
 	}
-	for _, s := range allPlanners() {
-		a := runCase(c, s, multigpu.DefaultOptions(), 4, 1)
-		b := runCase(c, s, multigpu.DefaultOptions(), 4, 1)
+	for _, s := range ComparisonSchedulers() {
+		a := runCase(c, s, nil, multigpu.DefaultOptions(), 4, 1)
+		b := runCase(c, s, nil, multigpu.DefaultOptions(), 4, 1)
 		if !reflect.DeepEqual(a, b) {
-			t.Errorf("%s: two identical runs diverged:\n  %+v\nvs\n  %+v", s.Name(), a, b)
+			t.Errorf("%s: two identical runs diverged:\n  %+v\nvs\n  %+v", s, a, b)
 		}
 	}
 }

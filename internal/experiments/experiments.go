@@ -10,14 +10,15 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"oovr/internal/core"
 	"oovr/internal/driver"
 	"oovr/internal/multigpu"
 	"oovr/internal/pipeline"
-	"oovr/internal/render"
 	"oovr/internal/scene"
+	"oovr/internal/spec"
 	"oovr/internal/stats"
 	"oovr/internal/workload"
 )
@@ -71,12 +72,100 @@ func (o Options) caseNames() []string {
 	return names
 }
 
+// caseSpec describes one harness run as a declarative RunSpec: the
+// scheduler by registered name (plus factory params), the workload inline
+// (harness cases are not always registered — sweeps and validation scenes
+// ride along as self-contained recipes), and the explicit system options.
+// Every run the harness performs is therefore submittable as-is to the
+// oovrd job server.
+func caseSpec(c workload.Case, scheduler string, params json.RawMessage, sysOpt multigpu.Options, frames int, seed int64) spec.RunSpec {
+	return spec.RunSpec{
+		Workload:  spec.WorkloadRef{Name: c.Name, Width: c.Width, Height: c.Height, Inline: &c.Spec},
+		Scheduler: spec.SchedulerRef{Name: scheduler, Params: params},
+		Hardware:  &sysOpt,
+		Frames:    frames,
+		Seed:      seed,
+	}
+}
+
 // runCase renders one benchmark case under one scheduling policy and
-// system option set, through the frame-driver execution core.
-func runCase(c workload.Case, p driver.Planner, sysOpt multigpu.Options, frames int, seed int64) multigpu.Metrics {
-	sc := c.Spec.Generate(c.Width, c.Height, frames, seed)
-	sys := multigpu.New(sysOpt, sc)
-	return driver.Run(sys, p)
+// system option set, resolved and executed through the spec layer (the
+// frame-driver execution core underneath is unchanged).
+func runCase(c workload.Case, scheduler string, params json.RawMessage, sysOpt multigpu.Options, frames int, seed int64) multigpu.Metrics {
+	m, err := caseSpec(c, scheduler, params, sysOpt, frames, seed).Run()
+	if err != nil {
+		// The harness's names and params are static; a failure here is a
+		// programming error, not an input error.
+		panic(err)
+	}
+	return m
+}
+
+// plannerLabel resolves a registered scheduler to its figure label.
+func plannerLabel(name string) string {
+	p, err := spec.NewPlanner(name, nil)
+	if err != nil {
+		panic(err)
+	}
+	return p.Name()
+}
+
+// ComparisonSchedulers are the seven evaluated schemes in the figures'
+// order — the default scope of SpecMatrix (deliberately not the whole
+// registry: the "single" validation vehicle and user-registered policies
+// only enter a matrix when asked for by name).
+func ComparisonSchedulers() []string {
+	return []string{"baseline", "afr", "tilev", "tileh", "object", "ooapp", "oovr"}
+}
+
+// FigureSchedulers returns the scheme set a case-level experiment
+// evaluates, for scoping a -dump-spec job matrix; it lives beside the
+// figure functions so a changed figure updates its matrix in the same
+// file. Nil means the experiment runs no flat scheduler-by-case matrix:
+// the tables (T1-T3, O1) simulate nothing, and E0's validation sweep
+// (paired SMP/sequential modes on single-GPU hardware over extra scenes)
+// is not expressible this way. Two documented approximations: the
+// hardware sweeps (F4/F17/F18) report their scheme set evaluated at the
+// caller's template hardware only, and the ablations (A1-A4) list their
+// default-configured schemes — the parameter variants (disabled
+// mechanisms, threshold/cap sweeps) stay inside the figure functions.
+func FigureSchedulers(id string) []string {
+	return map[string][]string{
+		"F4":  {"baseline"},
+		"F7":  {"baseline", "afr"},
+		"F8":  {"baseline", "tilev", "tileh", "object"},
+		"F9":  {"baseline", "tilev", "tileh", "object"},
+		"F10": {"object"},
+		"F15": {"baseline", "object", "afr", "ooapp", "oovr"},
+		"F16": {"baseline", "object", "oovr"},
+		"F17": {"baseline", "object", "oovr"},
+		"F18": {"baseline", "object", "oovr"},
+		"BRK": {"oovr"},
+		"A1":  {"baseline", "oovr"},
+		"A2":  {"baseline", "oovr"},
+		"A3":  {"baseline", "oovr"},
+		"A4":  {"baseline", "oovr"},
+	}[id]
+}
+
+// SpecMatrix enumerates the harness's standing job list as RunSpecs: every
+// named scheduler (default configuration) over every case of o, at o's
+// frames/seed/system options. cmd/oovrfigures -dump-spec emits it, and a
+// POST of the encoded array to oovrd's /batch endpoint computes the raw
+// per-scheme metrics the comparison figures normalize (see
+// FigureSchedulers for what the matrix approximates per experiment).
+func SpecMatrix(o Options, schedulers []string) []spec.RunSpec {
+	o = o.defaults()
+	if len(schedulers) == 0 {
+		schedulers = ComparisonSchedulers()
+	}
+	var out []spec.RunSpec
+	for _, s := range schedulers {
+		for _, c := range o.Cases {
+			out = append(out, caseSpec(c, s, nil, o.sysOptions(), o.Frames, o.Seed))
+		}
+	}
+	return out
 }
 
 // E0SMPValidation reproduces the Section 3 validation: on a single GPU,
@@ -102,8 +191,8 @@ func E0SMPValidation(o Options) stats.Figure {
 	}
 	speedups := make([]float64, len(cases))
 	o.forEach(len(cases), func(ci int) {
-		seq := runCase(cases[ci], singleGPU{mode: pipeline.ModeBothSequential}, sysOpt, o.Frames, o.Seed)
-		smp := runCase(cases[ci], singleGPU{mode: pipeline.ModeBothSMP}, sysOpt, o.Frames, o.Seed)
+		seq := runCase(cases[ci], "single", json.RawMessage(`{"Mode": "sequential"}`), sysOpt, o.Frames, o.Seed)
+		smp := runCase(cases[ci], "single", json.RawMessage(`{"Mode": "smp"}`), sysOpt, o.Frames, o.Seed)
 		speedups[ci] = seq.TotalCycles / smp.TotalCycles
 	})
 	fig.AddSeries("SMP speedup", speedups)
@@ -111,8 +200,27 @@ func E0SMPValidation(o Options) stats.Figure {
 }
 
 // singleGPU renders every object in one task on GPM0 with the given stereo
-// mode — the Section 3 validation vehicle.
+// mode — the Section 3 validation vehicle. It registers like any other
+// policy ("single", Mode: smp|sequential), so validation runs are
+// expressible as RunSpecs too.
 type singleGPU struct{ mode pipeline.Mode }
+
+func init() {
+	spec.RegisterPlanner("single", func(params json.RawMessage) (driver.Planner, error) {
+		p := struct{ Mode string }{Mode: "smp"}
+		if err := spec.DecodeParams(params, &p); err != nil {
+			return nil, err
+		}
+		switch p.Mode {
+		case "smp":
+			return singleGPU{mode: pipeline.ModeBothSMP}, nil
+		case "sequential":
+			return singleGPU{mode: pipeline.ModeBothSequential}, nil
+		default:
+			return nil, fmt.Errorf("single: unknown Mode %q (smp, sequential)", p.Mode)
+		}
+	})
+}
 
 func (s singleGPU) Name() string { return "Single-GPU(" + s.mode.String() + ")" }
 
@@ -146,7 +254,7 @@ func F4Bandwidth(o Options) stats.Figure {
 		sysOpt.Config = sysOpt.Config.WithLinkGBs(bw)
 		vals := make([]float64, len(o.Cases))
 		o.forEach(len(o.Cases), func(ci int) {
-			m := runCase(o.Cases[ci], render.Baseline{}, sysOpt, o.Frames, o.Seed)
+			m := runCase(o.Cases[ci], "baseline", nil, sysOpt, o.Frames, o.Seed)
 			if bi == 0 {
 				ref[ci] = m.TotalCycles
 			}
@@ -182,8 +290,8 @@ func F7AFR(o Options) stats.Figure {
 	perf := make([]float64, len(o.Cases))
 	lat := make([]float64, len(o.Cases))
 	o.forEach(len(o.Cases), func(ci int) {
-		base := runCase(o.Cases[ci], render.Baseline{}, o.sysOptions(), o.Frames, o.Seed)
-		afr := runCase(o.Cases[ci], render.DefaultAFR(), o.sysOptions(), o.Frames, o.Seed)
+		base := runCase(o.Cases[ci], "baseline", nil, o.sysOptions(), o.Frames, o.Seed)
+		afr := runCase(o.Cases[ci], "afr", nil, o.sysOptions(), o.Frames, o.Seed)
 		perf[ci] = base.FPSCycles() / afr.FPSCycles()
 		lat[ci] = afr.AvgFrameLatency() / base.AvgFrameLatency()
 	})
@@ -202,17 +310,17 @@ func F8SFRPerformance(o Options) stats.Figure {
 		Caption: "SFR performance normalized to baseline (paper: V 1.28x, H 1.03x, Object 1.60x)",
 		XLabels: o.caseNames(),
 	}
-	schemes := []driver.Planner{render.TileV{}, render.TileH{}, render.ObjectSFR{}}
+	schemes := []string{"tilev", "tileh", "object"}
 	base := make([]float64, len(o.Cases))
 	o.forEach(len(o.Cases), func(ci int) {
-		base[ci] = runCase(o.Cases[ci], render.Baseline{}, o.sysOptions(), o.Frames, o.Seed).FPSCycles()
+		base[ci] = runCase(o.Cases[ci], "baseline", nil, o.sysOptions(), o.Frames, o.Seed).FPSCycles()
 	})
 	for _, s := range schemes {
 		vals := make([]float64, len(o.Cases))
 		o.forEach(len(o.Cases), func(ci int) {
-			vals[ci] = base[ci] / runCase(o.Cases[ci], s, o.sysOptions(), o.Frames, o.Seed).FPSCycles()
+			vals[ci] = base[ci] / runCase(o.Cases[ci], s, nil, o.sysOptions(), o.Frames, o.Seed).FPSCycles()
 		})
-		fig.AddSeries(s.Name(), vals)
+		fig.AddSeries(plannerLabel(s), vals)
 	}
 	return fig
 }
@@ -227,17 +335,17 @@ func F9SFRTraffic(o Options) stats.Figure {
 		Caption: "SFR inter-GPM traffic normalized to baseline (paper: V 1.50x, H 1.44x, Object 0.60x)",
 		XLabels: o.caseNames(),
 	}
-	schemes := []driver.Planner{render.TileV{}, render.TileH{}, render.ObjectSFR{}}
+	schemes := []string{"tilev", "tileh", "object"}
 	base := make([]float64, len(o.Cases))
 	o.forEach(len(o.Cases), func(ci int) {
-		base[ci] = runCase(o.Cases[ci], render.Baseline{}, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes
+		base[ci] = runCase(o.Cases[ci], "baseline", nil, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes
 	})
 	for _, s := range schemes {
 		vals := make([]float64, len(o.Cases))
 		o.forEach(len(o.Cases), func(ci int) {
-			vals[ci] = runCase(o.Cases[ci], s, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes / base[ci]
+			vals[ci] = runCase(o.Cases[ci], s, nil, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes / base[ci]
 		})
-		fig.AddSeries(s.Name(), vals)
+		fig.AddSeries(plannerLabel(s), vals)
 	}
 	return fig
 }
@@ -253,7 +361,7 @@ func F10Imbalance(o Options) stats.Figure {
 	}
 	vals := make([]float64, len(o.Cases))
 	o.forEach(len(o.Cases), func(ci int) {
-		vals[ci] = runCase(o.Cases[ci], render.ObjectSFR{}, o.sysOptions(), o.Frames, o.Seed).BestToWorstBusyRatio()
+		vals[ci] = runCase(o.Cases[ci], "object", nil, o.sysOptions(), o.Frames, o.Seed).BestToWorstBusyRatio()
 	})
 	fig.AddSeries("Best-to-worst ratio", vals)
 	return fig
@@ -272,22 +380,22 @@ func F15Speedup(o Options) stats.Figure {
 	}
 	base := make([]float64, len(o.Cases))
 	o.forEach(len(o.Cases), func(ci int) {
-		base[ci] = runCase(o.Cases[ci], render.Baseline{}, o.sysOptions(), o.Frames, o.Seed).AvgFrameLatency()
+		base[ci] = runCase(o.Cases[ci], "baseline", nil, o.sysOptions(), o.Frames, o.Seed).AvgFrameLatency()
 	})
-	addNormalized := func(name string, sched driver.Planner, sysOpt multigpu.Options) {
+	addNormalized := func(name, sched string, sysOpt multigpu.Options) {
 		vals := make([]float64, len(o.Cases))
 		o.forEach(len(o.Cases), func(ci int) {
-			vals[ci] = base[ci] / runCase(o.Cases[ci], sched, sysOpt, o.Frames, o.Seed).AvgFrameLatency()
+			vals[ci] = base[ci] / runCase(o.Cases[ci], sched, nil, sysOpt, o.Frames, o.Seed).AvgFrameLatency()
 		})
 		fig.AddSeries(name, vals)
 	}
-	addNormalized("Object-Level", render.ObjectSFR{}, o.sysOptions())
-	addNormalized("Frame-Level", render.DefaultAFR(), o.sysOptions())
+	addNormalized("Object-Level", "object", o.sysOptions())
+	addNormalized("Frame-Level", "afr", o.sysOptions())
 	tb := o.sysOptions()
 	tb.Config = tb.Config.WithLinkGBs(1024)
-	addNormalized("1TB/s-BW", render.Baseline{}, tb)
-	addNormalized("OO_APP", core.NewOOApp(), o.sysOptions())
-	addNormalized("OOVR", core.NewOOVR(), o.sysOptions())
+	addNormalized("1TB/s-BW", "baseline", tb)
+	addNormalized("OO_APP", "ooapp", o.sysOptions())
+	addNormalized("OOVR", "oovr", o.sysOptions())
 	return fig
 }
 
@@ -303,15 +411,15 @@ func F16Traffic(o Options) stats.Figure {
 	}
 	base := make([]float64, len(o.Cases))
 	o.forEach(len(o.Cases), func(ci int) {
-		base[ci] = runCase(o.Cases[ci], render.Baseline{}, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes
+		base[ci] = runCase(o.Cases[ci], "baseline", nil, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes
 	})
 	fig.AddSeries("Baseline", stats.Normalize(base, base))
-	for _, s := range []driver.Planner{render.ObjectSFR{}, core.NewOOVR()} {
+	for _, s := range []string{"object", "oovr"} {
 		vals := make([]float64, len(o.Cases))
 		o.forEach(len(o.Cases), func(ci int) {
-			vals[ci] = runCase(o.Cases[ci], s, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes / base[ci]
+			vals[ci] = runCase(o.Cases[ci], s, nil, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes / base[ci]
 		})
-		fig.AddSeries(s.Name(), vals)
+		fig.AddSeries(plannerLabel(s), vals)
 	}
 	return fig
 }
@@ -332,21 +440,21 @@ func F17BandwidthScaling(o Options) stats.Figure {
 	refOpt.Config = refOpt.Config.WithLinkGBs(64)
 	ref := make([]float64, len(o.Cases))
 	o.forEach(len(o.Cases), func(ci int) {
-		ref[ci] = runCase(o.Cases[ci], render.Baseline{}, refOpt, o.Frames, o.Seed).TotalCycles
+		ref[ci] = runCase(o.Cases[ci], "baseline", nil, refOpt, o.Frames, o.Seed).TotalCycles
 	})
-	for _, s := range []driver.Planner{render.Baseline{}, render.ObjectSFR{}, core.NewOOVR()} {
+	for _, s := range []string{"baseline", "object", "oovr"} {
 		vals := make([]float64, len(bws))
 		for bi, bw := range bws {
 			sysOpt := o.sysOptions()
 			sysOpt.Config = sysOpt.Config.WithLinkGBs(bw)
 			ratios := make([]float64, len(o.Cases))
 			o.forEach(len(o.Cases), func(ci int) {
-				m := runCase(o.Cases[ci], s, sysOpt, o.Frames, o.Seed)
+				m := runCase(o.Cases[ci], s, nil, sysOpt, o.Frames, o.Seed)
 				ratios[ci] = ref[ci] / m.TotalCycles
 			})
 			vals[bi] = stats.GeoMean(ratios)
 		}
-		fig.AddSeries(s.Name(), vals)
+		fig.AddSeries(plannerLabel(s), vals)
 	}
 	return fig
 }
@@ -367,21 +475,21 @@ func F18GPMScaling(o Options) stats.Figure {
 	oneOpt.Config = oneOpt.Config.WithGPMs(1)
 	ref := make([]float64, len(o.Cases))
 	o.forEach(len(o.Cases), func(ci int) {
-		ref[ci] = runCase(o.Cases[ci], singleGPU{mode: pipeline.ModeBothSMP}, oneOpt, o.Frames, o.Seed).TotalCycles
+		ref[ci] = runCase(o.Cases[ci], "single", nil, oneOpt, o.Frames, o.Seed).TotalCycles
 	})
-	for _, s := range []driver.Planner{render.Baseline{}, render.ObjectSFR{}, core.NewOOVR()} {
+	for _, s := range []string{"baseline", "object", "oovr"} {
 		vals := make([]float64, len(counts))
 		for ni, n := range counts {
 			sysOpt := o.sysOptions()
 			sysOpt.Config = sysOpt.Config.WithGPMs(n)
 			ratios := make([]float64, len(o.Cases))
 			o.forEach(len(o.Cases), func(ci int) {
-				m := runCase(o.Cases[ci], s, sysOpt, o.Frames, o.Seed)
+				m := runCase(o.Cases[ci], s, nil, sysOpt, o.Frames, o.Seed)
 				ratios[ci] = ref[ci] / m.TotalCycles
 			})
 			vals[ni] = stats.GeoMean(ratios)
 		}
-		fig.AddSeries(s.Name(), vals)
+		fig.AddSeries(plannerLabel(s), vals)
 	}
 	return fig
 }
@@ -412,7 +520,7 @@ func TrafficBreakdown(o Options) stats.Figure {
 	}
 	ms := make([]multigpu.Metrics, len(o.Cases))
 	o.forEach(len(o.Cases), func(ci int) {
-		ms[ci] = runCase(o.Cases[ci], core.NewOOVR(), o.sysOptions(), o.Frames, o.Seed)
+		ms[ci] = runCase(o.Cases[ci], "oovr", nil, o.sysOptions(), o.Frames, o.Seed)
 	})
 	var sums [5]float64
 	for _, m := range ms {

@@ -1,43 +1,12 @@
 package experiments
 
-import (
-	"sync"
-	"sync/atomic"
-)
+import "oovr/internal/par"
 
-// forEach runs fn(i) for every i in [0, n), spread across o.Parallel worker
-// goroutines (serially for Parallel <= 1). Each simulation case binds its
-// own multigpu.System — workload generation and the simulator share no
-// mutable state across cases — so case evaluations are embarrassingly
-// parallel. Callers write results to distinct indices, which keeps the
-// assembled figures independent of scheduling order: a Parallel > 1 run
+// forEach spreads fn across o.Parallel workers (the shared par.ForEach
+// pool). Each simulation case binds its own multigpu.System — workload
+// generation and the simulator share no mutable state across cases — so
+// case evaluations are embarrassingly parallel and any Parallel value
 // produces output identical to a serial run.
 func (o Options) forEach(n int, fn func(i int)) {
-	workers := o.Parallel
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	next.Store(-1)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1))
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
+	par.ForEach(o.Parallel, n, fn)
 }

@@ -1,0 +1,43 @@
+package multigpu
+
+import "encoding/json"
+
+// metricsWire pins the canonical JSON field order of Metrics. Go encodes
+// struct fields in declaration order, so this mirror makes the wire layout
+// an explicit contract: reordering or renaming fields on Metrics itself can
+// no longer silently change the bytes that cached and golden results are
+// compared by. Keys use the exact field names, which the default
+// (case-insensitive) decoder maps straight back onto Metrics.
+type metricsWire struct {
+	Scheme                 string    `json:"Scheme"`
+	Workload               string    `json:"Workload"`
+	TotalCycles            float64   `json:"TotalCycles"`
+	Frames                 int       `json:"Frames"`
+	FrameLatencies         []float64 `json:"FrameLatencies"`
+	GPMBusyCycles          []float64 `json:"GPMBusyCycles"`
+	InterGPMBytes          float64   `json:"InterGPMBytes"`
+	LocalDRAMBytes         float64   `json:"LocalDRAMBytes"`
+	RemoteTextureBytes     float64   `json:"RemoteTextureBytes"`
+	RemoteCompositionBytes float64   `json:"RemoteCompositionBytes"`
+	RemoteDepthBytes       float64   `json:"RemoteDepthBytes"`
+	RemoteCommandBytes     float64   `json:"RemoteCommandBytes"`
+	RemoteVertexBytes      float64   `json:"RemoteVertexBytes"`
+}
+
+// MarshalJSON encodes the metrics canonically: fixed field order, no maps,
+// and float64 values in Go's shortest round-trip form — the same metrics
+// always marshal to the same bytes.
+func (m Metrics) MarshalJSON() ([]byte, error) {
+	return json.Marshal(metricsWire(m))
+}
+
+// UnmarshalJSON decodes the canonical form (and, via the case-insensitive
+// field match, any historical spelling of the same keys).
+func (m *Metrics) UnmarshalJSON(b []byte) error {
+	var w metricsWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*m = Metrics(w)
+	return nil
+}

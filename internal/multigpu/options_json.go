@@ -1,0 +1,24 @@
+package multigpu
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// UnmarshalJSON decodes options *over the calibrated defaults*: fields the
+// document omits keep their DefaultOptions values (including nested Config
+// and Cache fields) instead of zeroing, and unknown fields are an error.
+// A partially specified hardware block in a RunSpec therefore means "the
+// default machine with these knobs changed", never a machine with silently
+// zeroed calibration constants.
+func (o *Options) UnmarshalJSON(b []byte) error {
+	type plain Options // strip the method to avoid recursing
+	p := plain(DefaultOptions())
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return err
+	}
+	*o = Options(p)
+	return nil
+}

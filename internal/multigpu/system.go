@@ -280,6 +280,29 @@ func (s *System) PlaceFramebufferAt(g mem.GPMID) {
 	s.Mem.Place(s.fbSeg, g)
 }
 
+// PlaceSharedPartitioned re-places every shared texture and vertex segment
+// into N contiguous per-GPM shares — a named initial layout the spec layer
+// exposes (placement swaps are free of traffic; see internal/mem).
+func (s *System) PlaceSharedPartitioned() {
+	for _, id := range s.texSeg {
+		s.Mem.PlacePartitioned(id)
+	}
+	for _, id := range s.vbSeg {
+		s.Mem.PlacePartitioned(id)
+	}
+}
+
+// PlaceSharedAt homes every shared texture and vertex segment on one GPM —
+// the pathological single-home placement.
+func (s *System) PlaceSharedAt(g mem.GPMID) {
+	for _, id := range s.texSeg {
+		s.Mem.Place(id, g)
+	}
+	for _, id := range s.vbSeg {
+		s.Mem.Place(id, g)
+	}
+}
+
 // EnsureLocalCopies allocates (once) private texture and vertex copies on
 // the GPM, modelling AFR's pre-allocated per-GPM memory spaces. The copy is
 // made at application load time, so it costs capacity but no link time.

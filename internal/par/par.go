@@ -1,0 +1,44 @@
+// Package par holds the one concurrency primitive every fan-out surface
+// shares: the experiment harness's Parallel option, the oovrd job server's
+// batch pool and cmd/oovrsim's -all comparison all bound their concurrent
+// simulations through ForEach.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n), spread across the given number
+// of worker goroutines (serially for workers <= 1). Callers write results
+// to distinct indices, so the assembled output is independent of
+// scheduling order — a parallel run produces output identical to a serial
+// run.
+func ForEach(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

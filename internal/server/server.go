@@ -1,0 +1,330 @@
+// Package server implements the oovrd job service: RunSpecs arrive over
+// HTTP, a bounded worker pool executes them, and finished Results are kept
+// in a content-addressed cache keyed on the canonical spec encoding —
+// resubmitting an identical spec is served from stored bytes without
+// touching the simulator, and identical specs submitted concurrently share
+// one execution (single-flight).
+//
+// Endpoints:
+//
+//	POST /run         one RunSpec in, one canonical Result out
+//	POST /batch       a JSON array of RunSpecs in, an array of Results out
+//	                  (elements that fail resolve to {"error": ...})
+//	GET  /schedulers  sorted registered scheduler names
+//	GET  /workloads   sorted registered workload names
+//	GET  /layouts     sorted registered placement layout names
+//	GET  /stats       run/cache counters
+//	GET  /healthz     liveness
+//
+// Every /run response carries X-Oovrd-Cache: hit|miss and
+// X-Oovrd-Spec-Hash: the spec's content address.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"oovr/internal/par"
+	"oovr/internal/spec"
+)
+
+// maxSpecBytes bounds one submitted spec (inline workloads included).
+const maxSpecBytes = 1 << 20
+
+// Options configure a Server.
+type Options struct {
+	// Workers is the number of simulations allowed to execute
+	// concurrently — the same bounded-pool machinery the experiment
+	// harness's Parallel option uses (0 = all CPUs).
+	Workers int
+	// CacheEntries bounds the result cache; the oldest entry is evicted
+	// past it (0 = 4096, negative = caching disabled).
+	CacheEntries int
+}
+
+func (o Options) defaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 4096
+	}
+	return o
+}
+
+// Stats are the server's monotonic counters, served by /stats.
+type Stats struct {
+	// Runs counts simulations actually executed (cache misses that ran).
+	Runs int64 `json:"runs"`
+	// CacheHits counts submissions answered from stored bytes, including
+	// single-flight followers of an in-flight identical spec.
+	CacheHits int64 `json:"cache_hits"`
+	// CacheMisses counts submissions that had to execute.
+	CacheMisses int64 `json:"cache_misses"`
+	// Batches counts /batch requests; their elements count under the
+	// other fields.
+	Batches int64 `json:"batches"`
+	// Errors counts submissions rejected before or during execution.
+	Errors int64 `json:"errors"`
+	// Evictions counts cache entries dropped by the size bound.
+	Evictions int64 `json:"evictions"`
+}
+
+// entry is one content-addressed cache slot. It is inserted before the run
+// starts so concurrent identical specs wait on done instead of re-running.
+type entry struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// Server is the oovrd HTTP handler.
+type Server struct {
+	opt Options
+	mux *http.ServeMux
+	sem chan struct{} // bounds concurrently executing simulations
+
+	mu    sync.Mutex
+	cache map[string]*entry
+	order []string // insertion order, for FIFO eviction
+	stats Stats
+}
+
+// New returns a ready handler.
+func New(opt Options) *Server {
+	s := &Server{
+		opt:   opt.defaults(),
+		mux:   http.NewServeMux(),
+		cache: map[string]*entry{},
+	}
+	s.sem = make(chan struct{}, s.opt.Workers)
+	s.mux.HandleFunc("/run", s.handleRun)
+	s.mux.HandleFunc("/batch", s.handleBatch)
+	s.mux.HandleFunc("/schedulers", listHandler(spec.PlannerNames))
+	s.mux.HandleFunc("/workloads", listHandler(spec.WorkloadNames))
+	s.mux.HandleFunc("/layouts", listHandler(spec.LayoutNames))
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "spec_version": spec.CurrentVersion})
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// result answers one spec: from the cache when its content address is
+// known, executing (at most once, under the worker pool) otherwise. The
+// hash is computed before anything resolves, so cache hits are served from
+// stored bytes without constructing a planner or a system.
+func (s *Server) result(rs spec.RunSpec) (body []byte, hash string, hit bool, err error) {
+	hash, err = rs.Hash()
+	if err != nil {
+		return nil, "", false, err
+	}
+	if s.opt.CacheEntries < 0 {
+		// Still a miss for the counters: every submission lands under
+		// hits or misses, cache or no cache.
+		s.mu.Lock()
+		s.stats.CacheMisses++
+		s.mu.Unlock()
+		body, err = s.resolveAndExecute(rs)
+		return body, hash, false, err
+	}
+
+	s.mu.Lock()
+	if e, ok := s.cache[hash]; ok {
+		s.mu.Unlock()
+		<-e.done
+		if e.err == nil {
+			// Counted only when stored bytes actually answer the
+			// submission; a follower of a failed in-flight run gets the
+			// error and lands under Errors instead.
+			s.mu.Lock()
+			s.stats.CacheHits++
+			s.mu.Unlock()
+		}
+		return e.body, hash, true, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	s.cache[hash] = e
+	s.stats.CacheMisses++
+	s.mu.Unlock()
+
+	e.body, e.err = s.resolveAndExecute(rs)
+	s.mu.Lock()
+	if e.err != nil {
+		// Failed runs do not stay addressable; a corrected resubmission
+		// (or a transient failure) gets a fresh execution.
+		delete(s.cache, hash)
+	} else {
+		s.order = append(s.order, hash)
+		for len(s.order) > s.opt.CacheEntries {
+			delete(s.cache, s.order[0])
+			s.order = s.order[1:]
+			s.stats.Evictions++
+		}
+	}
+	s.mu.Unlock()
+	close(e.done)
+	return e.body, hash, false, e.err
+}
+
+// execError marks a failure that happened after the spec resolved —
+// server-side trouble, reported as HTTP 500 rather than the 400 a bad
+// submission gets.
+type execError struct{ error }
+
+// resolveAndExecute resolves a spec (client errors) and runs it (server
+// errors) — the miss path. The recover sits here, above both phases: a
+// panicking user-registered factory or simulation must neither wedge the
+// in-flight cache entry (its close would be skipped) nor crash a /batch
+// worker goroutine; it reports as a server-side error instead.
+func (s *Server) resolveAndExecute(rs spec.RunSpec) (body []byte, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = execError{fmt.Errorf("run panicked: %v", p)}
+		}
+	}()
+	run, err := rs.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	return s.execute(run)
+}
+
+// execute runs one resolved spec under the worker pool and encodes its
+// canonical Result. Panics are caught by resolveAndExecute.
+func (s *Server) execute(run *spec.Run) (body []byte, err error) {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	m := run.Execute()
+	s.mu.Lock()
+	s.stats.Runs++
+	s.mu.Unlock()
+	res, err := spec.NewResult(run.Spec, m)
+	if err != nil {
+		return nil, execError{err}
+	}
+	body, err = res.Encode()
+	if err != nil {
+		return nil, execError{err}
+	}
+	return body, nil
+}
+
+// handleRun serves POST /run.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a RunSpec", http.StatusMethodNotAllowed)
+		return
+	}
+	rs, err := spec.Decode(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	body, hash, hit, err := s.result(rs)
+	if err != nil {
+		code := http.StatusBadRequest
+		var ee execError
+		if errors.As(err, &ee) {
+			code = http.StatusInternalServerError
+		}
+		s.fail(w, code, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Oovrd-Spec-Hash", hash)
+	if hit {
+		w.Header().Set("X-Oovrd-Cache", "hit")
+	} else {
+		w.Header().Set("X-Oovrd-Cache", "miss")
+	}
+	w.Write(body)
+}
+
+// handleBatch serves POST /batch: the elements fan out across the worker
+// pool (the shared par.ForEach primitive) and the response array keeps
+// submission order; a failed element becomes {"error": ...} in place.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a JSON array of RunSpecs", http.StatusMethodNotAllowed)
+		return
+	}
+	var raw []json.RawMessage
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64*maxSpecBytes))
+	if err := dec.Decode(&raw); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("batch: %w", err))
+		return
+	}
+	// Same strictness as /run's spec decoding: trailing data (e.g. two
+	// concatenated dump outputs) must not silently run a subset.
+	if _, err := dec.Token(); err != io.EOF {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("batch: trailing data after the spec array"))
+		return
+	}
+	s.mu.Lock()
+	s.stats.Batches++
+	s.mu.Unlock()
+	out := make([]json.RawMessage, len(raw))
+	par.ForEach(s.opt.Workers, len(raw), func(i int) {
+		rs, err := spec.Decode(bytes.NewReader(raw[i]))
+		if err == nil {
+			var body []byte
+			if body, _, _, err = s.result(rs); err == nil {
+				out[i] = body
+				return
+			}
+		}
+		s.countError()
+		msg, _ := json.Marshal(map[string]string{"error": err.Error()})
+		out[i] = msg
+	})
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	s.countError()
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) countError() {
+	s.mu.Lock()
+	s.stats.Errors++
+	s.mu.Unlock()
+}
+
+func listHandler(names func() []string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, names())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(b)
+}

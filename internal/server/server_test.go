@@ -1,0 +1,319 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"oovr/internal/driver"
+	"oovr/internal/multigpu"
+	"oovr/internal/spec"
+	"oovr/internal/workload"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Options{Workers: 4, CacheEntries: 64})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postSpec(t *testing.T, url string, rs spec.RunSpec) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestServerMatchesImperative is the acceptance criterion: a RunSpec
+// submitted to oovrd over HTTP returns Metrics byte-identical to the same
+// configuration run through the imperative API, for every registered
+// scheduler; resubmitting the same spec is served from the result cache.
+func TestServerMatchesImperative(t *testing.T) {
+	srv, ts := newTestServer(t)
+	c, ok := workload.CaseByName("DM3-640")
+	if !ok {
+		t.Fatal("missing benchmark case")
+	}
+	const frames, seed = 2, 1
+	for _, name := range spec.PlannerNames() {
+		p, err := spec.NewPlanner(name, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := c.Spec.Generate(c.Width, c.Height, frames, seed)
+		want := driver.Run(multigpu.New(multigpu.DefaultOptions(), sc), p)
+		wantBytes, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rs := spec.RunSpec{
+			Workload:  spec.WorkloadRef{Name: c.Name},
+			Scheduler: spec.SchedulerRef{Name: name},
+			Frames:    frames,
+			Seed:      seed,
+		}
+		resp, body := postSpec(t, ts.URL, rs)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: HTTP %d: %s", name, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-Oovrd-Cache"); got != "miss" {
+			t.Errorf("%s: first submission reported cache %q", name, got)
+		}
+		res, err := spec.DecodeResult(body)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(res.Metrics, want) {
+			t.Errorf("%s: HTTP metrics diverged from imperative run\n got %+v\nwant %+v", name, res.Metrics, want)
+		}
+		gotBytes, err := json.Marshal(res.Metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotBytes, wantBytes) {
+			t.Errorf("%s: canonical metric bytes differ over HTTP", name)
+		}
+
+		// Resubmission: served from the cache, byte-identical body.
+		resp2, body2 := postSpec(t, ts.URL, rs)
+		if got := resp2.Header.Get("X-Oovrd-Cache"); got != "hit" {
+			t.Errorf("%s: resubmission reported cache %q", name, got)
+		}
+		if !bytes.Equal(body, body2) {
+			t.Errorf("%s: cached response bytes differ from the original", name)
+		}
+		if resp.Header.Get("X-Oovrd-Spec-Hash") != resp2.Header.Get("X-Oovrd-Spec-Hash") {
+			t.Errorf("%s: spec hash drifted between submissions", name)
+		}
+	}
+	st := srv.Stats()
+	n := int64(len(spec.PlannerNames()))
+	if st.Runs != n || st.CacheHits != n || st.CacheMisses != n {
+		t.Errorf("stats off: %+v (want %d runs, hits and misses)", st, n)
+	}
+}
+
+// TestSingleFlight: identical specs submitted concurrently execute once.
+func TestSingleFlight(t *testing.T) {
+	srv, ts := newTestServer(t)
+	rs := spec.RunSpec{
+		Workload:  spec.WorkloadRef{Name: "DM3-640"},
+		Scheduler: spec.SchedulerRef{Name: "baseline"},
+		Frames:    1,
+	}
+	var wg sync.WaitGroup
+	bodies := make([][]byte, 8)
+	for i := range bodies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, err := json.Marshal(rs)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(b))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			bodies[i], _ = io.ReadAll(resp.Body)
+			resp.Body.Close()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(bodies); i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("concurrent responses diverged")
+		}
+	}
+	if st := srv.Stats(); st.Runs != 1 {
+		t.Errorf("identical concurrent specs executed %d times, want 1 (stats %+v)", st.Runs, st)
+	}
+}
+
+// TestBatch covers the fan-out endpoint: order preserved, failures
+// reported in place, successes cached.
+func TestBatch(t *testing.T) {
+	srv, ts := newTestServer(t)
+	specs := []any{
+		spec.RunSpec{Workload: spec.WorkloadRef{Name: "DM3-640"}, Scheduler: spec.SchedulerRef{Name: "baseline"}, Frames: 1},
+		spec.RunSpec{Workload: spec.WorkloadRef{Name: "DM3-640"}, Scheduler: spec.SchedulerRef{Name: "no-such-scheme"}, Frames: 1},
+		spec.RunSpec{Workload: spec.WorkloadRef{Name: "DM3-640"}, Scheduler: spec.SchedulerRef{Name: "oovr"}, Frames: 1},
+	}
+	b, err := json.Marshal(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out []json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("batch returned %d elements, want 3", len(out))
+	}
+	for _, i := range []int{0, 2} {
+		res, err := spec.DecodeResult(out[i])
+		if err != nil {
+			t.Errorf("element %d: %v (%s)", i, err, out[i])
+			continue
+		}
+		if res.Metrics.Frames != 1 {
+			t.Errorf("element %d: unexpected metrics %+v", i, res.Metrics)
+		}
+	}
+	var fail map[string]string
+	if err := json.Unmarshal(out[1], &fail); err != nil || !strings.Contains(fail["error"], "no-such-scheme") {
+		t.Errorf("failed element reported %s", out[1])
+	}
+	if st := srv.Stats(); st.Batches != 1 || st.Errors != 1 || st.Runs != 2 {
+		t.Errorf("batch stats off: %+v", st)
+	}
+}
+
+// TestPanickingPlannerDoesNotWedge pins the panic containment: a
+// user-registered factory that panics yields HTTP 500 on every submission
+// — the single-flight entry is cleaned up, never left open to hang the
+// next identical spec, and the error is not cached.
+func TestPanickingPlannerDoesNotWedge(t *testing.T) {
+	// The registry is process-global, so the factory must stay harmless
+	// for every other test (including re-runs and -shuffle orders that
+	// enumerate PlannerNames): it only panics when told to by params.
+	registered := false
+	for _, n := range spec.PlannerNames() {
+		registered = registered || n == "test-panics"
+	}
+	if !registered {
+		spec.RegisterPlanner("test-panics", func(params json.RawMessage) (driver.Planner, error) {
+			p := struct{ Panic bool }{}
+			if err := spec.DecodeParams(params, &p); err != nil {
+				return nil, err
+			}
+			if p.Panic {
+				panic("factory exploded")
+			}
+			return spec.NewPlanner("baseline", nil)
+		})
+	}
+	srv, ts := newTestServer(t)
+	rs := spec.RunSpec{Workload: spec.WorkloadRef{Name: "WE"},
+		Scheduler: spec.SchedulerRef{Name: "test-panics", Params: json.RawMessage(`{"Panic": true}`)}, Frames: 1}
+	for i := 0; i < 2; i++ {
+		resp, body := postSpec(t, ts.URL, rs)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("submission %d: HTTP %d (%s), want 500", i, resp.StatusCode, body)
+		}
+		if !strings.Contains(string(body), "panicked") {
+			t.Errorf("submission %d: error body %s", i, body)
+		}
+	}
+	if st := srv.Stats(); st.Errors != 2 || st.Runs != 0 {
+		t.Errorf("panic stats off: %+v", st)
+	}
+}
+
+// TestRejections covers the input guards.
+func TestRejections(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Unknown top-level field: the strict decoder must refuse it.
+	resp, err := http.Post(ts.URL+"/run", "application/json",
+		strings.NewReader(`{"scheduler": {"name": "oovr"}, "workload": {"name": "WE"}, "typo": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field accepted: HTTP %d", resp.StatusCode)
+	}
+	// Wrong method.
+	resp, err = http.Get(ts.URL + "/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /run: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestListingsAndHealth covers the discovery endpoints.
+func TestListingsAndHealth(t *testing.T) {
+	_, ts := newTestServer(t)
+	for path, want := range map[string]string{
+		"/schedulers": "oovr",
+		"/workloads":  "HL2-1280",
+		"/layouts":    "striped",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var names []string
+		err = json.NewDecoder(resp.Body).Decode(&names)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		found := false
+		for _, n := range names {
+			found = found || n == want
+		}
+		if !found {
+			t.Errorf("%s listing %v misses %q", path, names, want)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestCacheEviction bounds the cache: filling past CacheEntries evicts the
+// oldest spec, which then re-runs on resubmission.
+func TestCacheEviction(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.opt.CacheEntries = 2
+	mk := func(seed int64) spec.RunSpec {
+		return spec.RunSpec{Workload: spec.WorkloadRef{Name: "DM3-640"},
+			Scheduler: spec.SchedulerRef{Name: "baseline"}, Frames: 1, Seed: seed}
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		postSpec(t, ts.URL, mk(seed))
+	}
+	resp, _ := postSpec(t, ts.URL, mk(1)) // evicted by seeds 2 and 3
+	if got := resp.Header.Get("X-Oovrd-Cache"); got != "miss" {
+		t.Errorf("evicted spec reported cache %q", got)
+	}
+	if st := srv.Stats(); st.Evictions < 1 {
+		t.Errorf("no evictions recorded: %+v", st)
+	}
+}

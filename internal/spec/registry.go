@@ -1,0 +1,199 @@
+// Package spec is the declarative run layer: a serializable RunSpec
+// describes one simulation — workload, scheduler, hardware, placement and
+// run knobs — by *name*, and the package's component registries resolve the
+// names to executable pieces. The spec is the API seam every submission
+// surface shares: cmd/oovrsim builds one from its flags, the experiment
+// harness builds one per figure case, and cmd/oovrd accepts them over HTTP,
+// caching results under the canonical spec encoding.
+//
+// Three registries back the resolution, mirroring the named-plugin shape of
+// production schedulers:
+//
+//   - planners: scheduling policies (driver.Planner factories taking JSON
+//     params) — the seven built-in schemes register at init, user policies
+//     via RegisterPlanner;
+//   - workloads: benchmark cases (the paper's nine plus the VRWorks
+//     validation scenes) via RegisterWorkload;
+//   - layouts: initial NUMA placements for the shared texture/vertex pool
+//     via RegisterLayout.
+//
+// DESIGN.md §7 documents the layer.
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"oovr/internal/driver"
+	"oovr/internal/multigpu"
+	"oovr/internal/workload"
+)
+
+// PlannerFactory builds a scheduling policy from its JSON params. A nil or
+// empty params message must yield the scheme's calibrated default
+// configuration; unknown param fields are an error.
+type PlannerFactory func(params json.RawMessage) (driver.Planner, error)
+
+// LayoutFunc applies a named initial placement of the shared texture and
+// vertex data to a freshly bound system, before any frame runs.
+type LayoutFunc func(sys *multigpu.System)
+
+// registry is one name-keyed component table. Primary names and aliases
+// share the value map; Names reports primaries only, so error messages and
+// listing endpoints stay canonical.
+type registry[V any] struct {
+	mu     sync.RWMutex
+	kind   string
+	fold   bool         // case-insensitive lookup
+	values map[string]V // by folded key
+	// primary maps a primary entry's folded key to its registered display
+	// spelling, which listings and canonical specs preserve.
+	primary map[string]string
+	// canon maps every accepted key (primary or alias, folded) to the
+	// primary display name, so spec normalization can rewrite aliases —
+	// identical runs must canonicalize to identical bytes and content
+	// addresses.
+	canon map[string]string
+}
+
+func newRegistry[V any](kind string, fold bool) *registry[V] {
+	return &registry[V]{kind: kind, fold: fold,
+		values: map[string]V{}, primary: map[string]string{}, canon: map[string]string{}}
+}
+
+func (r *registry[V]) key(name string) string {
+	if r.fold {
+		return strings.ToLower(name)
+	}
+	return name
+}
+
+func (r *registry[V]) register(name string, v V, aliases ...string) {
+	if name == "" {
+		panic("spec: " + r.kind + " registered with empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := r.key(name)
+	if _, dup := r.values[k]; dup {
+		panic(fmt.Sprintf("spec: %s %q registered twice", r.kind, name))
+	}
+	r.values[k] = v
+	r.primary[k] = name
+	r.canon[k] = name
+	for _, a := range aliases {
+		ak := r.key(a)
+		if _, dup := r.values[ak]; dup {
+			panic(fmt.Sprintf("spec: %s alias %q registered twice", r.kind, a))
+		}
+		r.values[ak] = v
+		r.canon[ak] = name
+	}
+}
+
+func (r *registry[V]) lookup(name string) (V, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.values[r.key(name)]
+	return v, ok
+}
+
+// canonicalName maps any accepted spelling (case variant or alias) to the
+// registered primary name; unregistered names come back unchanged so the
+// resolution error can still report them verbatim.
+func (r *registry[V]) canonicalName(name string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if p, ok := r.canon[r.key(name)]; ok {
+		return p
+	}
+	return name
+}
+
+// names returns the sorted primary names in their registered spelling.
+func (r *registry[V]) names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.primary))
+	for _, name := range r.primary {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// unknown formats the resolution error every submission surface reports:
+// the unknown name plus the sorted list of registered ones.
+func (r *registry[V]) unknown(name string) error {
+	return fmt.Errorf("spec: unknown %s %q (registered: %s)",
+		r.kind, name, strings.Join(r.names(), ", "))
+}
+
+var (
+	planners  = newRegistry[PlannerFactory]("scheduler", true)
+	workloads = newRegistry[workload.Case]("workload", false)
+	layouts   = newRegistry[LayoutFunc]("placement layout", true)
+)
+
+// RegisterPlanner adds a named scheduling policy to the registry (plus any
+// aliases), so RunSpecs can reference it by string. Names are
+// case-insensitive; registering a taken name panics.
+func RegisterPlanner(name string, f PlannerFactory, aliases ...string) {
+	if f == nil {
+		panic("spec: nil PlannerFactory for " + name)
+	}
+	planners.register(name, f, aliases...)
+}
+
+// NewPlanner resolves a registered scheduling policy and builds it from the
+// given params. Unknown names report the sorted registered list.
+func NewPlanner(name string, params json.RawMessage) (driver.Planner, error) {
+	f, ok := planners.lookup(name)
+	if !ok {
+		return nil, planners.unknown(name)
+	}
+	p, err := f(params)
+	if err != nil {
+		return nil, fmt.Errorf("spec: scheduler %q params: %w", name, err)
+	}
+	return p, nil
+}
+
+// PlannerNames returns the sorted primary names of all registered policies.
+func PlannerNames() []string { return planners.names() }
+
+// RegisterWorkload adds a named benchmark case. Names are case-sensitive
+// (they are figure labels like "HL2-1280").
+func RegisterWorkload(name string, c workload.Case) { workloads.register(name, c) }
+
+// WorkloadByName resolves a registered benchmark case.
+func WorkloadByName(name string) (workload.Case, bool) { return workloads.lookup(name) }
+
+// WorkloadNames returns the sorted names of all registered workloads.
+func WorkloadNames() []string { return workloads.names() }
+
+// RegisterLayout adds a named initial shared-data placement.
+func RegisterLayout(name string, f LayoutFunc) {
+	if f == nil {
+		panic("spec: nil LayoutFunc for " + name)
+	}
+	layouts.register(name, f)
+}
+
+// LayoutNames returns the sorted names of all registered layouts.
+func LayoutNames() []string { return layouts.names() }
+
+// DecodeParams strictly unmarshals a factory's params over defaults already
+// present in v (a nil/empty message leaves the defaults untouched); unknown
+// fields are an error. Planner factories use it for their param structs.
+func DecodeParams(params json.RawMessage, v any) error {
+	if len(params) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(strings.NewReader(string(params)))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}

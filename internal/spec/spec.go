@@ -1,0 +1,394 @@
+package spec
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"oovr/internal/core"
+	"oovr/internal/driver"
+	"oovr/internal/mem"
+	"oovr/internal/multigpu"
+	"oovr/internal/render"
+	"oovr/internal/workload"
+)
+
+// CurrentVersion is the RunSpec schema version this package encodes and
+// accepts. Bump it on any incompatible field change; decoders reject
+// versions they do not speak, so cached results never alias across schemas.
+const CurrentVersion = 1
+
+// WorkloadRef names the workload of a run. The common form references a
+// registered benchmark case ("HL2-1280", "Sponza") by Name; Width/Height
+// override the case's per-eye resolution when non-zero. A fully
+// self-contained spec instead carries the generator recipe Inline (the
+// experiment harness submits sweeps this way), in which case Name is only a
+// label.
+type WorkloadRef struct {
+	Name   string         `json:"name,omitempty"`
+	Width  int            `json:"width,omitempty"`
+	Height int            `json:"height,omitempty"`
+	Inline *workload.Spec `json:"inline,omitempty"`
+}
+
+// SchedulerRef names the scheduling policy and its factory params.
+type SchedulerRef struct {
+	Name string `json:"name"`
+	// Params configure the named policy (see the factory's param struct);
+	// empty means the calibrated defaults. Canonical specs carry params
+	// with sorted keys.
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// RunSpec is one simulation run, fully described as data: it can be stored,
+// submitted over HTTP, cached by content, and resolved to a ready-to-run
+// simulation anywhere the named components are registered.
+type RunSpec struct {
+	// Version is the schema version (CurrentVersion; 0 normalizes to it).
+	Version int `json:"version"`
+	// Workload selects the benchmark case.
+	Workload WorkloadRef `json:"workload"`
+	// Scheduler selects the scheduling policy.
+	Scheduler SchedulerRef `json:"scheduler"`
+	// Hardware overrides the simulator options (hardware config plus
+	// calibration knobs); nil means the Table 2 defaults. Normalized specs
+	// always carry the fully explicit options.
+	Hardware *multigpu.Options `json:"hardware,omitempty"`
+	// Placement is the registered initial shared-data layout ("" =
+	// "striped", the allocation default).
+	Placement string `json:"placement,omitempty"`
+	// Frames is the number of frames rendered (0 normalizes to 4).
+	Frames int `json:"frames,omitempty"`
+	// Seed drives the deterministic workload synthesis (0 normalizes to 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Stream feeds frames through a streaming driver.Session instead of
+	// materializing the scene; metrics are identical either way (the
+	// determinism tests pin it), so this is an execution-path knob.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// Decode strictly reads one RunSpec from r: unknown fields and trailing
+// data are errors, so a typoed knob or a half-edited file never silently
+// runs a default simulation.
+func Decode(r io.Reader) (RunSpec, error) {
+	var s RunSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return RunSpec{}, fmt.Errorf("spec: decode: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return RunSpec{}, fmt.Errorf("spec: decode: trailing data after the spec document")
+	}
+	return s, nil
+}
+
+// Normalized returns the spec with every defaulted field made explicit:
+// version and run knobs filled in, hardware expanded to the full option
+// set, the workload resolution resolved, and scheduler params re-encoded
+// with sorted keys. Two specs describing the same run normalize to the same
+// value, which is what Canonical hashes.
+func (s RunSpec) Normalized() (RunSpec, error) {
+	n := s
+	if n.Version == 0 {
+		n.Version = CurrentVersion
+	}
+	if n.Frames == 0 {
+		n.Frames = 4
+	}
+	if n.Seed == 0 {
+		n.Seed = 1
+	}
+	if n.Placement == "" {
+		n.Placement = "striped"
+	}
+	// Aliases and case variants name the same components, so they must
+	// canonicalize to the same bytes — otherwise identical runs would get
+	// distinct content addresses and defeat the result cache.
+	n.Scheduler.Name = planners.canonicalName(n.Scheduler.Name)
+	n.Placement = layouts.canonicalName(n.Placement)
+	if n.Hardware == nil {
+		opt := multigpu.DefaultOptions()
+		n.Hardware = &opt
+	} else {
+		opt := *n.Hardware // never alias the caller's options
+		n.Hardware = &opt
+	}
+	if n.Workload.Inline != nil {
+		sp := *n.Workload.Inline
+		n.Workload.Inline = &sp
+	}
+	if n.Workload.Width == 0 || n.Workload.Height == 0 {
+		var res [][2]int
+		if n.Workload.Inline != nil {
+			res = n.Workload.Inline.Resolutions
+		} else {
+			c, ok := WorkloadByName(n.Workload.Name)
+			if !ok {
+				return RunSpec{}, workloads.unknown(n.Workload.Name)
+			}
+			res = [][2]int{{c.Width, c.Height}}
+		}
+		if len(res) == 0 {
+			return RunSpec{}, fmt.Errorf("spec: workload %q has no resolvable resolution", n.Workload.Name)
+		}
+		// Each dimension defaults independently, so a partial override
+		// (width only) is preserved rather than silently discarded.
+		if n.Workload.Width == 0 {
+			n.Workload.Width = res[0][0]
+		}
+		if n.Workload.Height == 0 {
+			n.Workload.Height = res[0][1]
+		}
+	}
+	if len(n.Scheduler.Params) > 0 {
+		canon, err := canonicalJSON(n.Scheduler.Params)
+		if err != nil {
+			return RunSpec{}, fmt.Errorf("spec: scheduler params: %w", err)
+		}
+		// Semantically-empty params mean "the defaults", exactly like an
+		// absent field — fold them out so the spellings share one
+		// canonical form and one content address.
+		if s := string(canon); s == "null" || s == "{}" {
+			canon = nil
+		}
+		n.Scheduler.Params = canon
+	}
+	return n, nil
+}
+
+// canonicalJSON re-encodes an arbitrary JSON document with sorted object
+// keys at every level (Go's encoding/json sorts map keys), so semantically
+// equal params byte-compare equal.
+func canonicalJSON(raw json.RawMessage) (json.RawMessage, error) {
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, err
+	}
+	return json.Marshal(v)
+}
+
+// Validate resolves every named component and checks the run knobs,
+// without running anything. Unknown component names report the sorted
+// registered alternatives.
+func (s RunSpec) Validate() error {
+	_, err := s.Resolve()
+	return err
+}
+
+// ValidateHardware checks the spec's hardware options alone — for callers
+// (the harness's -spec template) that use a stored spec's machine without
+// resolving its scheduler, which may not be registered in their binary.
+func (s RunSpec) ValidateHardware() error {
+	n, err := s.Normalized()
+	if err != nil {
+		return err
+	}
+	if err := validOptions(*n.Hardware); err != nil {
+		return fmt.Errorf("spec: hardware: %w", err)
+	}
+	return nil
+}
+
+// Run is a resolved, ready-to-execute spec.
+type Run struct {
+	// Spec is the normalized spec the run was resolved from.
+	Spec RunSpec
+	// Case is the resolved workload at the spec's resolution.
+	Case workload.Case
+	// Planner is the constructed scheduling policy.
+	Planner driver.Planner
+	// Options are the explicit simulator options.
+	Options multigpu.Options
+
+	layout LayoutFunc
+}
+
+// Resolve normalizes and validates the spec and resolves its components
+// against the registries.
+func (s RunSpec) Resolve() (*Run, error) {
+	n, err := s.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	if n.Version != CurrentVersion {
+		return nil, fmt.Errorf("spec: unsupported version %d (this build speaks %d)", n.Version, CurrentVersion)
+	}
+	if n.Frames < 0 {
+		return nil, fmt.Errorf("spec: frames must be positive, got %d", n.Frames)
+	}
+	c, err := n.ResolveWorkload()
+	if err != nil {
+		return nil, err
+	}
+	p, err := NewPlanner(n.Scheduler.Name, n.Scheduler.Params)
+	if err != nil {
+		return nil, err
+	}
+	layout, ok := layouts.lookup(n.Placement)
+	if !ok {
+		return nil, layouts.unknown(n.Placement)
+	}
+	if err := validOptions(*n.Hardware); err != nil {
+		return nil, fmt.Errorf("spec: hardware: %w", err)
+	}
+	// The built-in master-node policies must name a GPM the resolved
+	// hardware actually has; the cross-check lives here because planner
+	// factories never see the hardware config.
+	nGPM := n.Hardware.Config.NumGPMs
+	var root mem.GPMID = -1
+	switch pl := p.(type) {
+	case render.ObjectSFR:
+		root = pl.Root
+	case core.OOApp:
+		root = pl.Root
+	}
+	if int(root) >= nGPM {
+		return nil, fmt.Errorf("spec: scheduler %q Root %d outside the %d-GPM system",
+			n.Scheduler.Name, root, nGPM)
+	}
+	return &Run{Spec: n, Case: c, Planner: p, Options: *n.Hardware, layout: layout}, nil
+}
+
+// ResolveWorkload produces the evaluation case at the spec's resolution
+// without touching the other components — callers that only need the
+// workload (the harness's -spec template) stay usable with specs naming
+// schedulers this binary never registered.
+func (n RunSpec) ResolveWorkload() (workload.Case, error) {
+	w := n.Workload
+	if w.Inline != nil {
+		if w.Inline.Draws <= 0 {
+			return workload.Case{}, fmt.Errorf("spec: inline workload %q has no draws", w.Name)
+		}
+		name := w.Name
+		if name == "" {
+			name = w.Inline.Abbr
+		}
+		return workload.Case{Name: name, Spec: *w.Inline, Width: w.Width, Height: w.Height}, nil
+	}
+	c, ok := WorkloadByName(w.Name)
+	if !ok {
+		return workload.Case{}, workloads.unknown(w.Name)
+	}
+	c.Width, c.Height = w.Width, w.Height
+	return c, nil
+}
+
+// validOptions converts the option structs' panic-style validation into an
+// error, so a bad HTTP-submitted spec reports instead of crashing a worker.
+func validOptions(opt multigpu.Options) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%v", p)
+		}
+	}()
+	opt.Config.Validate()
+	opt.Cache.Validate()
+	if opt.OverlapFactor < 0 || opt.OverlapFactor > 1 {
+		return fmt.Errorf("multigpu: OverlapFactor %v out of [0,1]", opt.OverlapFactor)
+	}
+	return nil
+}
+
+// Execute runs the resolved simulation and collects its metrics — byte
+// identical to the equivalent imperative construction (the spec tests pin
+// this for every registered scheduler).
+func (r *Run) Execute() multigpu.Metrics {
+	c := r.Case
+	if r.Spec.Stream {
+		st := c.Spec.Stream(c.Width, c.Height, r.Spec.Frames, r.Spec.Seed)
+		sys := multigpu.New(r.Options, st.Header())
+		r.layout(sys)
+		ses := driver.Open(sys, r.Planner)
+		for {
+			f, ok := st.Next()
+			if !ok {
+				break
+			}
+			ses.SubmitFrame(f)
+		}
+		return ses.Close()
+	}
+	sc := c.Spec.Generate(c.Width, c.Height, r.Spec.Frames, r.Spec.Seed)
+	sys := multigpu.New(r.Options, sc)
+	r.layout(sys)
+	return driver.Run(sys, r.Planner)
+}
+
+// Run resolves and executes the spec in one call.
+func (s RunSpec) Run() (multigpu.Metrics, error) {
+	r, err := s.Resolve()
+	if err != nil {
+		return multigpu.Metrics{}, err
+	}
+	return r.Execute(), nil
+}
+
+// Canonical returns the spec's canonical encoding: the normalized spec,
+// compact, with fixed field order and sorted param keys. Equal runs
+// canonicalize to equal bytes; the result cache keys on it.
+func (s RunSpec) Canonical() ([]byte, error) {
+	n, err := s.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(n)
+}
+
+// Hash returns the spec's content address: the hex SHA-256 of the
+// canonical encoding with execution-path knobs folded out. Stream does not
+// participate — batch and streamed runs produce byte-identical Metrics
+// (pinned by the determinism tests) — so the same configuration submitted
+// either way shares one cache entry.
+func (s RunSpec) Hash() (string, error) {
+	n, err := s.Normalized()
+	if err != nil {
+		return "", err
+	}
+	n.Stream = false
+	c, err := json.Marshal(n)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(c)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// EncodeArray renders specs as a JSON array with one canonical spec per
+// line — the -dump-spec job-list format of both CLIs, accepted verbatim by
+// oovrd's /batch endpoint.
+func EncodeArray(specs []RunSpec) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString("[\n")
+	for i, s := range specs {
+		c, err := s.Canonical()
+		if err != nil {
+			return nil, err
+		}
+		buf.WriteString("  ")
+		buf.Write(c)
+		if i < len(specs)-1 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('\n')
+	}
+	buf.WriteString("]\n")
+	return buf.Bytes(), nil
+}
+
+// Indent returns the canonical encoding re-indented for humans (-dump-spec
+// output). The bytes differ from Canonical only in whitespace.
+func (s RunSpec) Indent() ([]byte, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, c, "", "  "); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,52 @@
+package stats
+
+import "encoding/json"
+
+// Canonical JSON for figures: explicit mirror structs pin the field order,
+// so archived (golden) figure encodings stay byte-stable across refactors
+// of the Figure/Series declarations. There are no map-typed fields; float64
+// values encode in Go's shortest round-trip form, so equal figures always
+// marshal to equal bytes.
+
+type seriesWire struct {
+	Name   string    `json:"Name"`
+	Values []float64 `json:"Values"`
+}
+
+type figureWire struct {
+	ID      string   `json:"ID"`
+	Caption string   `json:"Caption"`
+	XLabels []string `json:"XLabels"`
+	Series  []Series `json:"Series"`
+}
+
+// MarshalJSON encodes the series with a fixed field order.
+func (s Series) MarshalJSON() ([]byte, error) {
+	return json.Marshal(seriesWire(s))
+}
+
+// UnmarshalJSON decodes the canonical series form.
+func (s *Series) UnmarshalJSON(b []byte) error {
+	var w seriesWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*s = Series(w)
+	return nil
+}
+
+// MarshalJSON encodes the figure canonically: ID, Caption, XLabels, Series,
+// in that order, each series as {Name, Values}.
+func (f Figure) MarshalJSON() ([]byte, error) {
+	return json.Marshal(figureWire{ID: f.ID, Caption: f.Caption, XLabels: f.XLabels, Series: f.Series})
+}
+
+// UnmarshalJSON decodes the canonical figure form.
+func (f *Figure) UnmarshalJSON(b []byte) error {
+	var w figureWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*f = Figure{ID: w.ID, Caption: w.Caption, XLabels: w.XLabels, Series: w.Series}
+	return nil
+}

@@ -16,7 +16,9 @@
 //     distribution engine with the Equation-3 predictor, distributed
 //     hardware composition), and
 //   - the experiment harness that regenerates every figure and table of
-//     the paper's evaluation.
+//     the paper's evaluation, and
+//   - the declarative run layer: serializable RunSpecs resolved through
+//     named component registries, served by the cmd/oovrd job server.
 //
 // # Quick start
 //
@@ -30,6 +32,7 @@
 package oovr
 
 import (
+	"encoding/json"
 	"io"
 
 	"oovr/internal/core"
@@ -41,6 +44,7 @@ import (
 	"oovr/internal/pipeline"
 	"oovr/internal/render"
 	"oovr/internal/scene"
+	"oovr/internal/spec"
 	"oovr/internal/stats"
 	"oovr/internal/workload"
 )
@@ -258,6 +262,58 @@ func NewMiddleware() Middleware { return core.NewMiddleware() }
 func TSL(sc *Scene, root, candidate []scene.TextureID) float64 {
 	return core.TSL(sc, root, candidate)
 }
+
+// The declarative run layer: a serializable RunSpec names a workload, a
+// scheduler, hardware options and run knobs, and the component registries
+// resolve the names. Specs are what cmd/oovrsim's flags translate to, what
+// the experiment harness submits per figure case, and what the oovrd job
+// server accepts over HTTP — resubmitting an identical spec is answered
+// from a cache keyed on the canonical encoding. DESIGN.md §7 has the model.
+type (
+	// RunSpec is one simulation run, fully described as data.
+	RunSpec = spec.RunSpec
+	// WorkloadRef names (or inlines) a RunSpec's workload.
+	WorkloadRef = spec.WorkloadRef
+	// SchedulerRef names a RunSpec's scheduling policy plus its params.
+	SchedulerRef = spec.SchedulerRef
+	// RunResult is the versioned outcome of one RunSpec (canonical JSON).
+	RunResult = spec.Result
+	// PlannerFactory builds a registered policy from its JSON params.
+	PlannerFactory = spec.PlannerFactory
+	// LayoutFunc applies a registered initial shared-data placement.
+	LayoutFunc = spec.LayoutFunc
+)
+
+// RegisterPlanner adds a named scheduling policy (plus aliases) to the
+// registry, making it addressable from RunSpecs, cmd/oovrsim -scheme and
+// the oovrd job server. The seven built-in schemes are pre-registered as
+// baseline, afr, tilev, tileh, object, ooapp and oovr.
+func RegisterPlanner(name string, f PlannerFactory, aliases ...string) {
+	spec.RegisterPlanner(name, f, aliases...)
+}
+
+// RegisterWorkload adds a named benchmark case to the registry. The
+// paper's nine cases and the VRWorks validation scenes are pre-registered.
+func RegisterWorkload(name string, c BenchmarkCase) { spec.RegisterWorkload(name, c) }
+
+// RegisterLayout adds a named initial shared-data placement (pre-registered:
+// striped, partitioned, gpm0).
+func RegisterLayout(name string, f LayoutFunc) { spec.RegisterLayout(name, f) }
+
+// RegisteredPlanners, RegisteredWorkloads and RegisteredLayouts list the
+// sorted registered names — the same listings oovrd serves.
+func RegisteredPlanners() []string  { return spec.PlannerNames() }
+func RegisteredWorkloads() []string { return spec.WorkloadNames() }
+func RegisteredLayouts() []string   { return spec.LayoutNames() }
+
+// NewPlanner resolves a registered policy by name; unknown names error
+// with the sorted registered list.
+func NewPlanner(name string, params json.RawMessage) (Planner, error) {
+	return spec.NewPlanner(name, params)
+}
+
+// DecodeRunSpec strictly reads a RunSpec (unknown fields are an error).
+func DecodeRunSpec(r io.Reader) (RunSpec, error) { return spec.Decode(r) }
 
 // Experiments.
 type (

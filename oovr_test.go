@@ -1,6 +1,7 @@
 package oovr_test
 
 import (
+	"encoding/json"
 	"testing"
 
 	"oovr"
@@ -150,5 +151,60 @@ func TestExperimentViaPublicAPI(t *testing.T) {
 	}
 	if fig.Series[0].Values[0] < 1 {
 		t.Errorf("best-to-worst ratio below 1: %v", fig.Series[0].Values[0])
+	}
+}
+
+func TestRunSpecViaPublicAPI(t *testing.T) {
+	// A declarative run must match the imperative construction exactly.
+	rs := oovr.RunSpec{
+		Workload:  oovr.WorkloadRef{Name: "DM3-640"},
+		Scheduler: oovr.SchedulerRef{Name: "oovr"},
+		Frames:    2,
+		Seed:      1,
+	}
+	got, err := rs.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oovr.NewOOVR().Render(oovr.NewSystem(oovr.DefaultOptions(), smallScene(t, 2)))
+	if got.TotalCycles != want.TotalCycles || got.InterGPMBytes != want.InterGPMBytes {
+		t.Errorf("spec run diverged from imperative run:\n %+v\nvs\n %+v", got, want)
+	}
+	if h, err := rs.Hash(); err != nil || len(h) != 64 {
+		t.Errorf("spec hash %q, err %v", h, err)
+	}
+}
+
+func TestRegisterCustomPlanner(t *testing.T) {
+	// A user policy registered by name becomes addressable from specs —
+	// the extension seam examples/custom_scheduler describes. The registry
+	// is process-global and rejects duplicates, so guard for -count > 1.
+	registered := false
+	for _, n := range oovr.RegisteredPlanners() {
+		registered = registered || n == "test-afr-alias"
+	}
+	if !registered {
+		oovr.RegisterPlanner("test-afr-alias", func(params json.RawMessage) (oovr.Planner, error) {
+			return oovr.DefaultAFR(), nil
+		})
+	}
+	found := false
+	for _, n := range oovr.RegisteredPlanners() {
+		found = found || n == "test-afr-alias"
+	}
+	if !found {
+		t.Fatalf("registered planner missing from %v", oovr.RegisteredPlanners())
+	}
+	rs := oovr.RunSpec{
+		Workload:  oovr.WorkloadRef{Name: "DM3-640"},
+		Scheduler: oovr.SchedulerRef{Name: "test-afr-alias"},
+		Frames:    1,
+	}
+	m, err := rs.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Scheme != "Frame-Level" {
+		t.Errorf("custom-registered planner ran as %q", m.Scheme)
 	}
 }
