@@ -17,6 +17,10 @@ import (
 	"testing"
 
 	"oovr"
+	"oovr/internal/link"
+	"oovr/internal/mem"
+	"oovr/internal/sim"
+	"oovr/internal/topo"
 )
 
 // benchOptions keeps per-iteration cost low: two representative cases
@@ -219,6 +223,34 @@ func BenchmarkSimulatorFrame(b *testing.B) {
 		if m.Frames != 1 {
 			b.Fatal("bad run")
 		}
+	}
+}
+
+// BenchmarkFabricReserve measures the interconnect's hot path —
+// ReserveFlow with hop-level traffic accounting, called for every memory
+// flow of every task — on the paper's dedicated fullmesh (single-hop
+// routes) and on the routed switch topology (three hops through a shared
+// backplane). scripts/bench_check.sh gates both variants like the frame
+// benchmark, so routing overhead cannot creep into the per-flow cost
+// unnoticed.
+func BenchmarkFabricReserve(b *testing.B) {
+	for _, name := range []string{"fullmesh", "switch"} {
+		b.Run(name, func(b *testing.B) {
+			g, err := topo.Build(topo.Params{Name: name, NumGPMs: 4, LinkGBs: 64})
+			if err != nil {
+				b.Fatal(err)
+			}
+			f := link.New(g, 1)
+			f.AccountHops(mem.NewTraffic(4))
+			flow := mem.Flow{Requester: 0, RemoteBySrc: []float64{0, 256, 1024, 4096}}
+			b.ResetTimer()
+			var at sim.Time
+			for i := 0; i < b.N; i++ {
+				// Feed each flow in at the previous one's completion so the
+				// FIFO queues stay shallow and steady.
+				at = f.ReserveFlow(at, flow)
+			}
+		})
 	}
 }
 

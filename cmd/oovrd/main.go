@@ -41,6 +41,7 @@ func main() {
 	fmt.Printf("  schedulers: %s\n", strings.Join(spec.PlannerNames(), ", "))
 	fmt.Printf("  workloads:  %s\n", strings.Join(spec.WorkloadNames(), ", "))
 	fmt.Printf("  layouts:    %s\n", strings.Join(spec.LayoutNames(), ", "))
+	fmt.Printf("  topologies: %s\n", strings.Join(spec.TopologyNames(), ", "))
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -3,9 +3,14 @@
 //
 // Usage:
 //
-//	oovrfigures [-exp all|T1|T2|T3|E0|F4|F7|F8|F9|F10|F15|F16|F17|F18|O1|BRK|A1|A2|A3|A4]
-//	            [-frames N] [-seed S] [-csv] [-parallel N]
+//	oovrfigures [-exp all|T1|T2|T3|E0|F4|F7|F8|F9|F10|F15|F16|F17|F18|FT|O1|BRK|A1|A2|A3|A4]
+//	            [-frames N] [-seed S] [-csv] [-parallel N] [-topology NAME]
 //	            [-spec file.json] [-dump-spec]
+//
+// FT is the post-paper topology-sensitivity figure: OO-VR speedup over the
+// baseline per interconnect topology and link bandwidth. -topology runs
+// every *other* experiment on a named registered topology (fullmesh, ring,
+// chain, mesh2d, switch, hierarchical) instead of the paper's full mesh.
 //
 // Every simulation the harness performs is a declarative RunSpec
 // underneath. -spec uses a stored RunSpec as the run template — its
@@ -35,8 +40,10 @@ import (
 
 	"oovr/internal/experiments"
 	"oovr/internal/gpu"
+	"oovr/internal/multigpu"
 	"oovr/internal/spec"
 	"oovr/internal/stats"
+	"oovr/internal/topo"
 	"oovr/internal/workload"
 )
 
@@ -46,6 +53,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload synthesis seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "simulation worker goroutines (output is identical for any value)")
+	topology := flag.String("topology", "", "run the experiments on this registered interconnect topology (default fullmesh)")
 	specPath := flag.String("spec", "", "RunSpec file used as the experiment template (hardware, frames, seed, workload)")
 	dumpSpec := flag.Bool("dump-spec", false, "print the scheduler-by-case job matrix as a RunSpec array and exit")
 	flag.Parse()
@@ -53,6 +61,19 @@ func main() {
 	opt := experiments.Options{Frames: *frames, Seed: *seed, Parallel: *parallel}
 	if *specPath != "" {
 		applyTemplate(&opt, *specPath)
+	}
+	if *topology != "" {
+		// The flag wins over a -spec template's hardware, like the other
+		// explicit flags.
+		sys := multigpu.DefaultOptions()
+		if opt.System != nil {
+			sys = *opt.System
+		}
+		sys.Config = sys.Config.WithTopology(*topology)
+		if err := topo.Validate(sys.Config.TopologyParams()); err != nil {
+			fail(err)
+		}
+		opt.System = &sys
 	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
@@ -110,6 +131,9 @@ func main() {
 	}
 	if sel("F18") {
 		emit(experiments.F18GPMScaling(opt))
+	}
+	if sel("FT") {
+		emit(experiments.FTopology(opt))
 	}
 	if sel("O1") {
 		emit(experiments.O1Overhead())

@@ -5,8 +5,14 @@
 // Usage:
 //
 //	oovrsim [-bench HL2-1280] [-scheme oovr] [-gpms 4] [-link 64]
-//	        [-frames 4] [-seed 1] [-placement striped] [-all] [-parallel N]
-//	        [-spec file.json] [-dump-spec]
+//	        [-topology fullmesh] [-frames 4] [-seed 1] [-placement striped]
+//	        [-all] [-parallel N] [-spec file.json] [-dump-spec] [-v]
+//
+// -topology selects a registered interconnect topology (fullmesh, ring,
+// chain, mesh2d, switch, hierarchical); -v additionally prints every
+// physical link's served bytes, busy cycles, utilization and peak queueing
+// delay, sorted by link name, so congestion is visible without the figures
+// harness.
 //
 // Every run is a declarative RunSpec underneath: the flags are a thin
 // translation layer, -dump-spec prints the spec a flag set denotes (ready
@@ -36,6 +42,7 @@ func main() {
 	scheme := flag.String("scheme", "oovr", "registered scheduler name")
 	gpms := flag.Int("gpms", 4, "number of GPMs")
 	linkGBs := flag.Float64("link", 64, "inter-GPM link bandwidth, GB/s per direction")
+	topology := flag.String("topology", "", "registered interconnect topology (default fullmesh)")
 	frames := flag.Int("frames", 4, "frames to render")
 	seed := flag.Int64("seed", 1, "workload synthesis seed (0 normalizes to 1)")
 	placement := flag.String("placement", "striped", "registered initial shared-data layout")
@@ -43,6 +50,7 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "with -all: worker goroutines (output is identical for any value)")
 	specPath := flag.String("spec", "", "run this RunSpec file instead of translating the flags")
 	dumpSpec := flag.Bool("dump-spec", false, "print the run's RunSpec (JSON) and exit without simulating")
+	verbose := flag.Bool("v", false, "also print per-link interconnect statistics, sorted by link name")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "unexpected arguments:", flag.Args())
@@ -64,7 +72,7 @@ func main() {
 		}
 	} else {
 		opt := multigpu.DefaultOptions()
-		opt.Config = opt.Config.WithGPMs(*gpms).WithLinkGBs(*linkGBs)
+		opt.Config = opt.Config.WithGPMs(*gpms).WithLinkGBs(*linkGBs).WithTopology(*topology)
 		base = spec.RunSpec{
 			Workload:  spec.WorkloadRef{Name: *bench},
 			Scheduler: spec.SchedulerRef{Name: *scheme},
@@ -118,8 +126,12 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("%s  %d GPMs  %g GB/s links  %d frames\n\n",
-			ms[0].Workload, n.Hardware.Config.NumGPMs, n.Hardware.Config.InterGPMLinkGBs, n.Frames)
+		topoName := n.Hardware.Config.Topology
+		if topoName == "" {
+			topoName = "fullmesh"
+		}
+		fmt.Printf("%s  %d GPMs  %g GB/s links  %s  %d frames\n\n",
+			ms[0].Workload, n.Hardware.Config.NumGPMs, n.Hardware.Config.InterGPMLinkGBs, topoName, n.Frames)
 		fmt.Printf("%-16s %14s %14s %14s %10s\n", "scheme", "cycles/frame", "frame latency", "inter-GPM MB", "busy max/min")
 		for _, m := range ms {
 			fmt.Printf("%-16s %14.0f %14.0f %14.1f %10.2f\n",
@@ -128,6 +140,24 @@ func main() {
 		return
 	}
 	printMetrics(ms[0])
+	if *verbose {
+		printLinks(ms[0])
+	}
+}
+
+// printLinks renders the per-physical-link interconnect statistics; the
+// metrics carry them already sorted by link name.
+func printLinks(m multigpu.Metrics) {
+	if len(m.Links) == 0 {
+		fmt.Println("interconnect:      none (single GPM)")
+		return
+	}
+	fmt.Println("interconnect links:")
+	fmt.Printf("  %-12s %12s %14s %12s %14s\n", "link", "MB served", "busy cycles", "utilization", "peak queue")
+	for _, l := range m.Links {
+		fmt.Printf("  %-12s %12.1f %14.0f %11.1f%% %14.0f\n",
+			l.Name, l.Bytes/1e6, l.BusyCycles, 100*l.Utilization, l.PeakQueueDelay)
+	}
 }
 
 // dump prints the runnable spec(s) as JSON — a single indented object for

@@ -28,9 +28,13 @@ func allPlanners() []driver.Planner {
 	}
 }
 
-// metricsFingerprint folds every field of a Metrics — including the raw
-// float64 bits of each latency and busy counter — into a short digest, so
-// "byte-identical Metrics" is a string comparison.
+// metricsFingerprint folds every pre-topology field of a Metrics —
+// including the raw float64 bits of each latency and busy counter — into a
+// short digest, so "byte-identical Metrics" is a string comparison. The
+// Links field (added with the topology subsystem) is deliberately
+// excluded: the golden digests below were captured before it existed and
+// must stay comparable; linksFingerprint pins the per-link data
+// separately.
 func metricsFingerprint(m multigpu.Metrics) string {
 	h := sha256.New()
 	w := func(f float64) {
@@ -119,6 +123,138 @@ func TestGoldenCrossArchitectureEquivalence(t *testing.T) {
 			}
 			if !reflect.DeepEqual(batch, streamed) {
 				t.Errorf("%s/%s: streamed metrics diverged from batch", cname, p.Name())
+			}
+		}
+	}
+}
+
+// topologyGoldenFingerprints pin the routed interconnect topologies the
+// same way goldenFingerprints pin the paper's full mesh: HL2-1280 on the
+// otherwise-default 4-GPM Table 2 system, 4 frames, seed 1, with only
+// Config.Topology changed. Captured when internal/topo landed; any change
+// to the routing rules (shortest path, lowest-next-hop tie break), the
+// store-and-forward reservation order, or the default topology parameters
+// shows up as a drifted digest — here when it moves the timing or traffic
+// totals, in goldenLinkFingerprints when it only redistributes bytes or
+// queueing across physical links. Frame-Level (AFR) deliberately shares
+// the fullmesh digest across all three: it renders from private per-GPM
+// copies and moves no link bytes, so the topology must not affect it.
+var topologyGoldenFingerprints = map[string]map[string]string{
+	"ring": {
+		"Baseline":       "0a4c857fbb06c17f",
+		"Frame-Level":    "59b7b83a740d3974",
+		"Tile-Level (V)": "a807b389f24a6ed7",
+		"Tile-Level (H)": "9149d8f53e101e8f",
+		"Object-Level":   "ad533d9538529ab0",
+		"OO_APP":         "dadf8548c94cf129",
+		"OOVR":           "b4e49cdff55cd12c",
+	},
+	"switch": {
+		"Baseline":       "43bf02680170e2d4",
+		"Frame-Level":    "59b7b83a740d3974",
+		"Tile-Level (V)": "38da1400e65a419c",
+		"Tile-Level (H)": "22c95e22d51f6505",
+		"Object-Level":   "87d7140309c73783",
+		"OO_APP":         "aa1cc080f22ea456",
+		"OOVR":           "6841251a7faa314c",
+	},
+	"hierarchical": {
+		"Baseline":       "120c3dfe90eb6ea8",
+		"Frame-Level":    "59b7b83a740d3974",
+		"Tile-Level (V)": "43d5dd30928ae333",
+		"Tile-Level (H)": "e8c6d707e7fd152a",
+		"Object-Level":   "474e0457710cbbb7",
+		"OO_APP":         "7f7459d6026b3167",
+		"OOVR":           "a0c80c13285f5c0b",
+	},
+}
+
+// TestGoldenTopologyFingerprints pins every scheduler's Metrics on the
+// routed topologies, through both execution paths (batch and a streaming
+// session) — the topology counterpart of the fullmesh golden test above.
+func TestGoldenTopologyFingerprints(t *testing.T) {
+	c, ok := workload.CaseByName("HL2-1280")
+	if !ok {
+		t.Fatal("missing benchmark case HL2-1280")
+	}
+	for topoName, want := range topologyGoldenFingerprints {
+		opt := multigpu.DefaultOptions()
+		opt.Config = opt.Config.WithTopology(topoName)
+		for _, p := range allPlanners() {
+			sc := c.Spec.Generate(c.Width, c.Height, 4, 1)
+			batch := driver.Run(multigpu.New(opt, sc), p)
+			if got := metricsFingerprint(batch); got != want[p.Name()] {
+				t.Errorf("%s/%s batch: fingerprint %s, golden %s (topology timing drifted)",
+					topoName, p.Name(), got, want[p.Name()])
+			}
+			st := c.Spec.Stream(c.Width, c.Height, 4, 1)
+			ses := driver.Open(multigpu.New(opt, st.Header()), p)
+			for {
+				f, ok := st.Next()
+				if !ok {
+					break
+				}
+				ses.SubmitFrame(f)
+			}
+			streamed := ses.Close()
+			if !reflect.DeepEqual(batch, streamed) {
+				t.Errorf("%s/%s: streamed metrics diverged from batch", topoName, p.Name())
+			}
+		}
+	}
+}
+
+// linksFingerprint folds the per-link interconnect metrics — the data
+// metricsFingerprint predates and excludes — into a short digest.
+func linksFingerprint(m multigpu.Metrics) string {
+	h := sha256.New()
+	w := func(f float64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+		h.Write(b[:])
+	}
+	for _, l := range m.Links {
+		fmt.Fprintf(h, "%s|", l.Name)
+		w(l.Bytes)
+		w(l.BusyCycles)
+		w(l.Utilization)
+		w(l.PeakQueueDelay)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}
+
+// goldenLinkFingerprints pin the per-physical-link metrics (bytes, busy
+// cycles, utilization, peak queueing delay, in sorted-name order) for a
+// representative scheduler pair on every topology family — HL2-1280,
+// 4 frames, seed 1, like the digests above. A regression confined to
+// hop-level accounting or queue-delay tracking leaves the timing digests
+// untouched and surfaces only here.
+var goldenLinkFingerprints = map[string]map[string]string{
+	"fullmesh":     {"Baseline": "2a59a95956689030", "OOVR": "f73eb6f8d39e59e1"},
+	"ring":         {"Baseline": "23d676d3b8541e3f", "OOVR": "793564658e9e2d6b"},
+	"switch":       {"Baseline": "79f4921b33dba8e8", "OOVR": "918957c02d6a1e76"},
+	"hierarchical": {"Baseline": "d141a8a33991276a", "OOVR": "4c3a862462e620c8"},
+}
+
+// TestGoldenLinkFingerprints pins the per-link metrics digests.
+func TestGoldenLinkFingerprints(t *testing.T) {
+	c, ok := workload.CaseByName("HL2-1280")
+	if !ok {
+		t.Fatal("missing benchmark case HL2-1280")
+	}
+	planners := map[string]driver.Planner{
+		"Baseline": render.Baseline{},
+		"OOVR":     core.NewOOVR(),
+	}
+	for topoName, want := range goldenLinkFingerprints {
+		opt := multigpu.DefaultOptions()
+		opt.Config = opt.Config.WithTopology(topoName)
+		for pname, p := range planners {
+			sc := c.Spec.Generate(c.Width, c.Height, 4, 1)
+			m := driver.Run(multigpu.New(opt, sc), p)
+			if got := linksFingerprint(m); got != want[pname] {
+				t.Errorf("%s/%s: link fingerprint %s, golden %s (per-link accounting drifted)",
+					topoName, pname, got, want[pname])
 			}
 		}
 	}

@@ -125,8 +125,9 @@ func ComparisonSchedulers() []string {
 // the tables (T1-T3, O1) simulate nothing, and E0's validation sweep
 // (paired SMP/sequential modes on single-GPU hardware over extra scenes)
 // is not expressible this way. Two documented approximations: the
-// hardware sweeps (F4/F17/F18) report their scheme set evaluated at the
-// caller's template hardware only, and the ablations (A1-A4) list their
+// hardware sweeps (F4/F17/F18, and FT's topology x bandwidth grid) report
+// their scheme set evaluated at the caller's template hardware only, and
+// the ablations (A1-A4) list their
 // default-configured schemes — the parameter variants (disabled
 // mechanisms, threshold/cap sweeps) stay inside the figure functions.
 func FigureSchedulers(id string) []string {
@@ -140,6 +141,7 @@ func FigureSchedulers(id string) []string {
 		"F16": {"baseline", "object", "oovr"},
 		"F17": {"baseline", "object", "oovr"},
 		"F18": {"baseline", "object", "oovr"},
+		"FT":  {"baseline", "oovr"},
 		"BRK": {"oovr"},
 		"A1":  {"baseline", "oovr"},
 		"A2":  {"baseline", "oovr"},

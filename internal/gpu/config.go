@@ -7,6 +7,8 @@
 // engine, ROPs, and a memory-side L2 in front of the local DRAM partition.
 package gpu
 
+import "oovr/internal/topo"
+
 // Config is the machine configuration, defaulting to the paper's Table 2.
 type Config struct {
 	// ClockGHz is the GPU frequency (Table 2: 1 GHz).
@@ -38,6 +40,24 @@ type Config struct {
 	InterGPMLinkGBs float64
 	// LocalDRAMGBs is the per-GPM local DRAM bandwidth (Table 2: 1 TB/s).
 	LocalDRAMGBs float64
+
+	// Interconnect topology. The zero values select the paper's fabric —
+	// dedicated full-mesh links — so every existing configuration (and its
+	// RunSpec content address) is unchanged. internal/topo documents the
+	// registered topologies and the defaults the zero parameters imply.
+
+	// Topology names the interconnect topology ("" = fullmesh).
+	Topology string `json:",omitempty"`
+	// TopologyMeshCols is mesh2d's grid width (0 = squarest grid).
+	TopologyMeshCols int `json:",omitempty"`
+	// TopologyPackageSize is hierarchical's GPMs per package (0 = 2).
+	TopologyPackageSize int `json:",omitempty"`
+	// TopologyTrunkGBs is hierarchical's off-package trunk bandwidth
+	// (0 = InterGPMLinkGBs/2).
+	TopologyTrunkGBs float64 `json:",omitempty"`
+	// TopologyBackplaneGBs is switch's shared backplane budget
+	// (0 = NumGPMs/2 x InterGPMLinkGBs).
+	TopologyBackplaneGBs float64 `json:",omitempty"`
 
 	// Shading cost knobs. These are the transaction-level stand-ins for
 	// ATTILA's cycle-level shader execution; DESIGN.md §3 explains the
@@ -98,6 +118,13 @@ func (c Config) WithLinkGBs(gbs float64) Config {
 	return c
 }
 
+// WithTopology returns a copy of c using the named interconnect topology,
+// for the topology sensitivity sweeps ("" restores the default full mesh).
+func (c Config) WithTopology(name string) Config {
+	c.Topology = name
+	return c
+}
+
 // Rates are the per-GPM stage throughputs derived from a Config.
 type Rates struct {
 	// VerticesPerCycle is the geometry stage vertex transform rate.
@@ -137,6 +164,21 @@ func (c Config) LinkBytesPerCycle() float64 {
 	return c.InterGPMLinkGBs / c.ClockGHz
 }
 
+// TopologyParams folds the interconnect knobs into the build parameters of
+// the internal/topo registry — the one conversion point every surface
+// (system construction, spec validation, figure sweeps) shares.
+func (c Config) TopologyParams() topo.Params {
+	return topo.Params{
+		Name:         c.Topology,
+		NumGPMs:      c.NumGPMs,
+		LinkGBs:      c.InterGPMLinkGBs,
+		MeshCols:     c.TopologyMeshCols,
+		PackageSize:  c.TopologyPackageSize,
+		TrunkGBs:     c.TopologyTrunkGBs,
+		BackplaneGBs: c.TopologyBackplaneGBs,
+	}
+}
+
 // Validate panics if the configuration is not usable.
 func (c Config) Validate() {
 	switch {
@@ -156,5 +198,12 @@ func (c Config) Validate() {
 		panic("gpu: shader cycle costs must be positive")
 	case c.SMPCyclesPerTriangle <= 0 || c.TrianglesPerCyclePerRaster <= 0 || c.RasterFragsPerCycle <= 0:
 		panic("gpu: fixed-function rates must be positive")
+	case c.TopologyMeshCols < 0 || c.TopologyPackageSize < 0 ||
+		c.TopologyTrunkGBs < 0 || c.TopologyBackplaneGBs < 0:
+		// The topology *name* resolves against the internal/topo registry
+		// when the fabric is built (and at spec resolve time), where an
+		// unknown name reports the registered alternatives as an error
+		// instead of a panic; only the numeric knobs are checked here.
+		panic("gpu: topology parameters must be non-negative")
 	}
 }

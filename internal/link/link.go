@@ -1,12 +1,18 @@
-// Package link models the inter-GPM interconnect of the future NUMA-based
-// multi-GPU system: dedicated point-to-point NVLink-style channels between
-// every pair of GPMs (the paper assumes 6 ports per GPM, one port pair per
-// peer, so "the intercommunication between two GPMs will not be interfered
-// by other GPMs" — Section 3).
+// Package link models the inter-GPM interconnect. The paper's machine uses
+// dedicated point-to-point NVLink-style channels between every pair of GPMs
+// (6 ports per GPM, one port pair per peer, so "the intercommunication
+// between two GPMs will not be interfered by other GPMs" — Section 3); the
+// fabric generalizes that to any registered internal/topo topology, where a
+// logical flow is routed across shared physical links hop by hop.
 //
-// Each direction of each pair is a FIFO bandwidth server (sim.Resource);
-// bandwidth is expressed in GB/s and converted to bytes/cycle using the GPU
-// clock.
+// Each physical link is a FIFO bandwidth server (sim.Resource); bandwidth
+// is expressed in GB/s and converted to bytes/cycle using the GPU clock. A
+// multi-hop flow reserves its bytes on every link of its route in traversal
+// order, store-and-forward: hop k+1 starts when hop k's transfer completes,
+// so shared links impose real queueing on flows that cross them. On the
+// fullmesh topology every route is a single dedicated link and the fabric
+// reproduces the paper's model byte-for-byte (the golden determinism tests
+// pin this).
 package link
 
 import (
@@ -14,6 +20,7 @@ import (
 
 	"oovr/internal/mem"
 	"oovr/internal/sim"
+	"oovr/internal/topo"
 )
 
 // BytesPerCycle converts a GB/s figure to bytes per cycle at the given clock
@@ -22,62 +29,101 @@ func BytesPerCycle(gbPerSec, clockGHz float64) float64 {
 	return gbPerSec / clockGHz
 }
 
-// Fabric is the full-mesh interconnect between n GPMs.
+// Fabric is the interconnect between n GPMs: the physical links of a
+// topology graph, one FIFO bandwidth server per link, plus the routing
+// tables that carry logical GPM-to-GPM flows across them.
 type Fabric struct {
-	n     int
-	gbs   float64
+	g     *topo.Graph
 	clock float64
-	// links[src][dst] carries bytes homed on src being delivered to dst.
-	links [][]*sim.Resource
+	res   []*sim.Resource // by topo link ID
+	// direct[src][dst] is the resource of the dedicated physical link
+	// src->dst when the topology has one (fullmesh, and neighbour pairs of
+	// ring/chain/mesh2d), nil otherwise.
+	direct [][]*sim.Resource
+	// traffic, when attached, receives per-physical-link (hop-level) byte
+	// accounting for every reservation.
+	traffic *mem.Traffic
 }
 
-// NewFabric builds a fabric of n GPMs with the given per-direction link
-// bandwidth (GB/s) at the given clock (GHz).
+// NewFabric builds the paper's full-mesh fabric of n GPMs with the given
+// per-direction link bandwidth (GB/s) at the given clock (GHz) — the
+// historical constructor, kept for callers that never name a topology.
 func NewFabric(n int, gbPerSec, clockGHz float64) *Fabric {
-	if n <= 0 {
-		panic("link: fabric needs at least one GPM")
+	g, err := topo.Build(topo.Params{NumGPMs: n, LinkGBs: gbPerSec})
+	if err != nil {
+		panic("link: " + err.Error())
 	}
-	if gbPerSec <= 0 || clockGHz <= 0 {
-		panic(fmt.Sprintf("link: invalid bandwidth %v GB/s @ %v GHz", gbPerSec, clockGHz))
+	return New(g, clockGHz)
+}
+
+// New builds the fabric for a topology graph at the given clock (GHz).
+func New(g *topo.Graph, clockGHz float64) *Fabric {
+	if clockGHz <= 0 {
+		panic(fmt.Sprintf("link: invalid clock %v GHz", clockGHz))
 	}
-	rate := BytesPerCycle(gbPerSec, clockGHz)
-	links := make([][]*sim.Resource, n)
-	for i := range links {
-		links[i] = make([]*sim.Resource, n)
-		for j := range links[i] {
-			if i == j {
-				continue
-			}
-			links[i][j] = sim.NewResource(fmt.Sprintf("link%d->%d", i, j), rate)
+	n := g.NumGPMs()
+	f := &Fabric{g: g, clock: clockGHz, direct: make([][]*sim.Resource, n)}
+	for i := range f.direct {
+		f.direct[i] = make([]*sim.Resource, n)
+	}
+	for _, l := range g.Links() {
+		r := sim.NewResource(l.Name, BytesPerCycle(l.GBs, clockGHz))
+		f.res = append(f.res, r)
+		if l.From < n && l.To < n {
+			f.direct[l.From][l.To] = r
 		}
 	}
-	return &Fabric{n: n, gbs: gbPerSec, clock: clockGHz, links: links}
+	return f
 }
 
+// Topology returns the fabric's topology graph.
+func (f *Fabric) Topology() *topo.Graph { return f.g }
+
 // NumGPMs returns the GPM count.
-func (f *Fabric) NumGPMs() int { return f.n }
+func (f *Fabric) NumGPMs() int { return f.g.NumGPMs() }
 
-// BandwidthGBs returns the per-direction link bandwidth in GB/s.
-func (f *Fabric) BandwidthGBs() float64 { return f.gbs }
+// NumLinks returns the physical link count.
+func (f *Fabric) NumLinks() int { return len(f.res) }
 
-// Link returns the directed link resource src->dst (nil when src == dst).
+// Resource returns the bandwidth server of the physical link with the given
+// topo link ID.
+func (f *Fabric) Resource(link int) *sim.Resource { return f.res[link] }
+
+// Link returns the dedicated physical link resource src->dst, or nil when
+// the topology routes that pair over shared links (and when src == dst).
 func (f *Fabric) Link(src, dst mem.GPMID) *sim.Resource {
 	f.check(src)
 	f.check(dst)
-	return f.links[src][dst]
+	return f.direct[src][dst]
 }
 
-// ReserveFlow queues the remote portions of a memory flow onto the links
-// that carry them, starting at time at, and returns the time the last byte
-// arrives. Flows with no remote bytes complete immediately at at. When n is
-// 1 (single GPU) there are no links and the result is always at.
+// AccountHops routes every subsequent reservation's per-link bytes into the
+// traffic account's hop-level counters (sizing them to this topology).
+func (f *Fabric) AccountHops(t *mem.Traffic) {
+	t.ConfigureHops(len(f.res))
+	f.traffic = t
+}
+
+// ReserveFlow queues the remote portions of a memory flow onto the physical
+// links that carry them, starting at time at, and returns the time the last
+// byte arrives. Each source's bytes traverse the route source->requester
+// store-and-forward: the reservation on hop k+1 begins when hop k
+// completes, so congestion on a shared early hop delays every later one.
+// Flows with no remote bytes complete immediately at at; when n is 1 there
+// are no links and the result is always at.
 func (f *Fabric) ReserveFlow(at sim.Time, flow mem.Flow) sim.Time {
 	end := at
 	for src, bytes := range flow.RemoteBySrc {
 		if bytes == 0 || mem.GPMID(src) == flow.Requester {
 			continue
 		}
-		t := f.links[src][flow.Requester].Reserve(at, bytes)
+		t := at
+		for _, lid := range f.g.Route(src, int(flow.Requester)) {
+			t = f.res[lid].Reserve(t, bytes)
+			if f.traffic != nil {
+				f.traffic.RecordHop(lid, bytes)
+			}
+		}
 		if t > end {
 			end = t
 		}
@@ -85,28 +131,25 @@ func (f *Fabric) ReserveFlow(at sim.Time, flow mem.Flow) sim.Time {
 	return end
 }
 
-// TotalBytes returns the bytes served across all links.
+// TotalBytes returns the bytes served across all physical links. Under a
+// routed topology a flow's bytes count once per hop (they really occupy
+// each link they cross).
 func (f *Fabric) TotalBytes() float64 {
 	var s float64
-	for i := range f.links {
-		for j := range f.links[i] {
-			if f.links[i][j] != nil {
-				s += f.links[i][j].TotalServed()
-			}
-		}
+	for _, r := range f.res {
+		s += r.TotalServed()
 	}
 	return s
 }
 
-// MaxBusy returns the largest busy time across all directed links; it bounds
-// how long the fabric alone would need to carry the recorded traffic.
+// MaxBusy returns the largest busy time across all physical links; it
+// bounds how long the fabric alone would need to carry the recorded
+// traffic.
 func (f *Fabric) MaxBusy() sim.Time {
 	var m sim.Time
-	for i := range f.links {
-		for j := range f.links[i] {
-			if f.links[i][j] != nil && f.links[i][j].BusyCycles() > m {
-				m = f.links[i][j].BusyCycles()
-			}
+	for _, r := range f.res {
+		if r.BusyCycles() > m {
+			m = r.BusyCycles()
 		}
 	}
 	return m
@@ -114,17 +157,13 @@ func (f *Fabric) MaxBusy() sim.Time {
 
 // Reset clears all link state.
 func (f *Fabric) Reset() {
-	for i := range f.links {
-		for j := range f.links[i] {
-			if f.links[i][j] != nil {
-				f.links[i][j].Reset()
-			}
-		}
+	for _, r := range f.res {
+		r.Reset()
 	}
 }
 
 func (f *Fabric) check(g mem.GPMID) {
-	if g < 0 || int(g) >= f.n {
-		panic(fmt.Sprintf("link: GPM %d out of range [0,%d)", g, f.n))
+	if g < 0 || int(g) >= f.g.NumGPMs() {
+		panic(fmt.Sprintf("link: GPM %d out of range [0,%d)", g, f.g.NumGPMs()))
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"oovr/internal/mem"
+	"oovr/internal/topo"
 )
 
 func TestBytesPerCycle(t *testing.T) {
@@ -20,7 +21,7 @@ func TestBytesPerCycle(t *testing.T) {
 
 func TestFabricTopology(t *testing.T) {
 	f := NewFabric(4, 64, 1)
-	if f.NumGPMs() != 4 || f.BandwidthGBs() != 64 {
+	if f.NumGPMs() != 4 || f.Topology().Name() != "fullmesh" || f.NumLinks() != 12 {
 		t.Errorf("fabric identity wrong")
 	}
 	if f.Link(0, 0) != nil {
@@ -87,6 +88,88 @@ func TestFabricReset(t *testing.T) {
 	f.Reset()
 	if f.TotalBytes() != 0 || f.MaxBusy() != 0 {
 		t.Errorf("Reset did not clear fabric")
+	}
+}
+
+// topoFabric builds a fabric for a named topology at 64 GB/s, 1 GHz.
+func topoFabric(t *testing.T, name string, n int) *Fabric {
+	t.Helper()
+	g, err := topo.Build(topo.Params{Name: name, NumGPMs: n, LinkGBs: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(g, 1)
+}
+
+func TestMultiHopStoreAndForward(t *testing.T) {
+	// Chain 0-1-2-3: a flow 0->3 crosses three links back to back.
+	f := topoFabric(t, "chain", 4)
+	end := f.ReserveFlow(0, mem.Flow{Requester: 3, RemoteBySrc: []float64{640, 0, 0, 0}})
+	// 640 bytes at 64 B/cycle = 10 cycles per hop, three hops serialized.
+	if end != 30 {
+		t.Errorf("chain 0->3 end = %v, want 30", end)
+	}
+	if f.Link(0, 1).TotalServed() != 640 || f.Link(1, 2).TotalServed() != 640 || f.Link(2, 3).TotalServed() != 640 {
+		t.Errorf("hops did not each carry the flow's bytes")
+	}
+}
+
+func TestSharedLinkContention(t *testing.T) {
+	// Chain: flows 0->2 and 1->2 share link 1->2; the second queues.
+	f := topoFabric(t, "chain", 3)
+	e1 := f.ReserveFlow(0, mem.Flow{Requester: 2, RemoteBySrc: []float64{640, 0, 0}})
+	if e1 != 20 { // two 10-cycle hops
+		t.Fatalf("0->2 end = %v, want 20", e1)
+	}
+	e2 := f.ReserveFlow(0, mem.Flow{Requester: 2, RemoteBySrc: []float64{0, 640, 0}})
+	// 1->2 is busy until cycle 20 serving the first flow's second hop.
+	if e2 != 30 {
+		t.Errorf("1->2 end = %v, want 30 (queued behind the routed flow)", e2)
+	}
+	// The second flow asked for the link at cycle 0 but waited for the
+	// first flow's second hop to drain at cycle 20.
+	if d := f.Link(1, 2).MaxQueueDelay(); d != 20 {
+		t.Errorf("peak queue delay on the shared link = %v, want 20", d)
+	}
+}
+
+func TestSwitchBackplaneIsShared(t *testing.T) {
+	// Switch with a tight backplane: two simultaneous flows between
+	// disjoint GPM pairs still serialize on the backplane.
+	g, err := topo.Build(topo.Params{Name: "switch", NumGPMs: 4, LinkGBs: 64, BackplaneGBs: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New(g, 1)
+	e1 := f.ReserveFlow(0, mem.Flow{Requester: 1, RemoteBySrc: []float64{640, 0, 0, 0}})
+	e2 := f.ReserveFlow(0, mem.Flow{Requester: 3, RemoteBySrc: []float64{0, 0, 640, 0}})
+	// Each flow: up 10 + backplane 10 + down 10 = 30 uncontended; the
+	// second flow's backplane hop queues behind the first's.
+	if e1 != 30 {
+		t.Errorf("first switch flow end = %v, want 30", e1)
+	}
+	if e2 != 40 {
+		t.Errorf("second switch flow end = %v, want 40 (backplane serialized)", e2)
+	}
+}
+
+func TestAccountHops(t *testing.T) {
+	f := topoFabric(t, "chain", 3)
+	tr := mem.NewTraffic(3)
+	f.AccountHops(tr)
+	if tr.NumHops() != f.NumLinks() {
+		t.Fatalf("traffic tracks %d hops, fabric has %d links", tr.NumHops(), f.NumLinks())
+	}
+	f.ReserveFlow(0, mem.Flow{Requester: 2, RemoteBySrc: []float64{640, 0, 0}})
+	var total float64
+	for i := 0; i < tr.NumHops(); i++ {
+		total += tr.HopBytes(i)
+	}
+	if total != 1280 { // 640 bytes on each of the two hops
+		t.Errorf("hop-level bytes = %v, want 1280", total)
+	}
+	if total != f.TotalBytes() {
+		t.Errorf("hop accounting (%v) disagrees with link resources (%v)", total, f.TotalBytes())
 	}
 }
 

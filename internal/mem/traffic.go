@@ -15,6 +15,12 @@ type Traffic struct {
 	link       [][]float64 // [src][dst] bytes crossing the src->dst link
 	kindLocal  []float64   // per SegmentKind
 	kindRemote []float64   // per SegmentKind
+	// hop accumulates bytes per *physical* link of the interconnect
+	// topology, indexed by link ID. The (src,dst) matrix above is logical
+	// (which GPM pair communicated); under a routed topology one logical
+	// flow crosses several physical links, and the fabric records each hop
+	// here as it reserves it. Nil until ConfigureHops sizes it.
+	hop []float64
 }
 
 // NewTraffic creates an empty traffic account for n GPMs.
@@ -78,6 +84,27 @@ func (t *Traffic) RemoteByKind(k SegmentKind) float64 { return t.kindRemote[k] }
 // LocalByKind returns the local bytes attributed to the given kind.
 func (t *Traffic) LocalByKind(k SegmentKind) float64 { return t.kindLocal[k] }
 
+// ConfigureHops sizes the per-physical-link accounting for a topology of n
+// links. The fabric calls it once at system construction; RecordHop panics
+// without it.
+func (t *Traffic) ConfigureHops(n int) {
+	t.hop = make([]float64, n)
+}
+
+// RecordHop attributes bytes to one physical link of the topology. The
+// fabric calls it for every hop of every routed flow.
+func (t *Traffic) RecordHop(link int, bytes float64) {
+	t.hop[link] += bytes
+}
+
+// NumHops returns how many physical links the account tracks (0 when no
+// topology was configured — single-GPM systems).
+func (t *Traffic) NumHops() int { return len(t.hop) }
+
+// HopBytes returns the bytes that crossed the physical link with the given
+// ID.
+func (t *Traffic) HopBytes(link int) float64 { return t.hop[link] }
+
 // MaxLinkBytes returns the most loaded directed link's byte count.
 func (t *Traffic) MaxLinkBytes() float64 {
 	var m float64
@@ -108,6 +135,12 @@ func (t *Traffic) Add(o *Traffic) {
 	for k := range t.kindLocal {
 		t.kindLocal[k] += o.kindLocal[k]
 		t.kindRemote[k] += o.kindRemote[k]
+	}
+	if len(t.hop) != len(o.hop) {
+		panic(fmt.Sprintf("mem: traffic hop counts differ: %d vs %d (different topologies)", len(t.hop), len(o.hop)))
+	}
+	for i := range t.hop {
+		t.hop[i] += o.hop[i]
 	}
 }
 

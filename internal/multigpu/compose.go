@@ -2,6 +2,7 @@ package multigpu
 
 import (
 	"fmt"
+	"sort"
 
 	"oovr/internal/mem"
 	"oovr/internal/scene"
@@ -187,6 +188,25 @@ type Metrics struct {
 	RemoteDepthBytes       float64
 	RemoteCommandBytes     float64
 	RemoteVertexBytes      float64
+	// Links are the per-physical-link interconnect statistics, sorted by
+	// link name (empty on single-GPM systems). Under a routed topology a
+	// flow's bytes appear on every hop it crossed.
+	Links []LinkMetrics
+}
+
+// LinkMetrics summarize one physical link of the interconnect topology.
+type LinkMetrics struct {
+	// Name is the topology's link name ("link0->1", "backplane", ...).
+	Name string
+	// Bytes is the total bytes the link served.
+	Bytes float64
+	// BusyCycles is the time the link spent occupied.
+	BusyCycles float64
+	// Utilization is BusyCycles over the run's TotalCycles.
+	Utilization float64
+	// PeakQueueDelay is the longest any reservation queued behind earlier
+	// traffic on this link — the congestion hot-spot indicator.
+	PeakQueueDelay float64
 }
 
 // AvgFrameLatency returns the mean per-frame latency.
@@ -252,6 +272,19 @@ func (s *System) Collect(scheme string) Metrics {
 	}
 	for g := range s.gpms {
 		m.GPMBusyCycles = append(m.GPMBusyCycles, float64(s.gpms[g].Busy))
+	}
+	if s.Fabric != nil {
+		for _, l := range s.Fabric.Topology().Links() {
+			r := s.Fabric.Resource(l.ID)
+			m.Links = append(m.Links, LinkMetrics{
+				Name:           l.Name,
+				Bytes:          tr.HopBytes(l.ID),
+				BusyCycles:     float64(r.BusyCycles()),
+				Utilization:    r.Utilization(sim.Time(m.TotalCycles)),
+				PeakQueueDelay: float64(r.MaxQueueDelay()),
+			})
+		}
+		sort.Slice(m.Links, func(i, j int) bool { return m.Links[i].Name < m.Links[j].Name })
 	}
 	return m
 }

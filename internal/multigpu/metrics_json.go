@@ -22,6 +22,11 @@ type metricsWire struct {
 	RemoteDepthBytes       float64   `json:"RemoteDepthBytes"`
 	RemoteCommandBytes     float64   `json:"RemoteCommandBytes"`
 	RemoteVertexBytes      float64   `json:"RemoteVertexBytes"`
+	// Links marshal in Collect's order (sorted by link name); LinkMetrics
+	// is itself a fixed-order struct, so the canonical-bytes guarantee
+	// extends to the per-link block. omitempty keeps single-GPM results
+	// byte-identical to the pre-topology encoding.
+	Links []LinkMetrics `json:"Links,omitempty"`
 }
 
 // MarshalJSON encodes the metrics canonically: fixed field order, no maps,

@@ -19,6 +19,7 @@ import (
 	"oovr/internal/pipeline"
 	"oovr/internal/scene"
 	"oovr/internal/sim"
+	"oovr/internal/topo"
 )
 
 // Options configure a System beyond the hardware Config.
@@ -207,7 +208,15 @@ func New(opt Options, sc *scene.Scene) *System {
 		vbCopy:   make([][]mem.SegmentID, n),
 	}
 	if n > 1 {
-		s.Fabric = link.NewFabric(n, opt.Config.InterGPMLinkGBs, opt.Config.ClockGHz)
+		// The interconnect is built from the configured topology (fullmesh
+		// unless the config names another); hop-level byte accounting lands
+		// in the memory system's traffic account.
+		g, err := topo.Build(opt.Config.TopologyParams())
+		if err != nil {
+			panic("multigpu: " + err.Error())
+		}
+		s.Fabric = link.New(g, opt.Config.ClockGHz)
+		s.Fabric.AccountHops(s.Mem.Traffic())
 	}
 	dramRate := opt.Config.DRAMBytesPerCycle()
 	for g := 0; g < n; g++ {

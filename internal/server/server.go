@@ -13,6 +13,7 @@
 //	GET  /schedulers  sorted registered scheduler names
 //	GET  /workloads   sorted registered workload names
 //	GET  /layouts     sorted registered placement layout names
+//	GET  /topologies  sorted registered interconnect topology names
 //	GET  /stats       run/cache counters
 //	GET  /healthz     liveness
 //
@@ -109,6 +110,7 @@ func New(opt Options) *Server {
 	s.mux.HandleFunc("/schedulers", listHandler(spec.PlannerNames))
 	s.mux.HandleFunc("/workloads", listHandler(spec.WorkloadNames))
 	s.mux.HandleFunc("/layouts", listHandler(spec.LayoutNames))
+	s.mux.HandleFunc("/topologies", listHandler(spec.TopologyNames))
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "spec_version": spec.CurrentVersion})

@@ -266,6 +266,7 @@ func TestListingsAndHealth(t *testing.T) {
 	_, ts := newTestServer(t)
 	for path, want := range map[string]string{
 		"/schedulers": "oovr",
+		"/topologies": "ring",
 		"/workloads":  "HL2-1280",
 		"/layouts":    "striped",
 	} {

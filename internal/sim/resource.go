@@ -18,6 +18,7 @@ type Resource struct {
 	busy     Time    // total occupied cycles
 	total    float64 // total units served
 	count    uint64  // number of reservations
+	maxWait  Time    // longest queueing delay any reservation saw
 }
 
 // NewResource creates a resource serving rate units per cycle. Rate must be
@@ -49,6 +50,9 @@ func (r *Resource) Reserve(at Time, amount float64) Time {
 	if amount == 0 {
 		return start
 	}
+	if wait := start - at; wait > r.maxWait {
+		r.maxWait = wait
+	}
 	dur := Time(amount / r.rate)
 	end := start + dur
 	r.nextFree = end
@@ -70,6 +74,11 @@ func (r *Resource) TotalServed() float64 { return r.total }
 // Reservations returns how many non-zero reservations were made.
 func (r *Resource) Reservations() uint64 { return r.count }
 
+// MaxQueueDelay returns the longest time any reservation spent queued
+// behind earlier work — the peak-congestion indicator the interconnect
+// metrics report per link.
+func (r *Resource) MaxQueueDelay() Time { return r.maxWait }
+
 // Utilization returns busy/horizon, the fraction of the given horizon the
 // server was occupied. Horizon must be positive.
 func (r *Resource) Utilization(horizon Time) float64 {
@@ -89,4 +98,5 @@ func (r *Resource) Reset() {
 	r.busy = 0
 	r.total = 0
 	r.count = 0
+	r.maxWait = 0
 }

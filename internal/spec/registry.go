@@ -17,7 +17,11 @@
 //   - layouts: initial NUMA placements for the shared texture/vertex pool
 //     via RegisterLayout.
 //
-// DESIGN.md §7 documents the layer.
+// A fourth axis — the interconnect topology named in the hardware block —
+// resolves through the internal/topo registry; RegisterTopology and
+// TopologyNames (topology.go) are its spec surface.
+//
+// DESIGN.md §7 documents the layer; §8 documents the topology model.
 package spec
 
 import (

@@ -13,6 +13,7 @@ import (
 	"oovr/internal/mem"
 	"oovr/internal/multigpu"
 	"oovr/internal/render"
+	"oovr/internal/topo"
 	"oovr/internal/workload"
 )
 
@@ -117,6 +118,21 @@ func (s RunSpec) Normalized() (RunSpec, error) {
 		opt := *n.Hardware // never alias the caller's options
 		n.Hardware = &opt
 	}
+	// The topology canonicalizes like the other component names: aliases
+	// fold to the primary spelling, parameters the named topology never
+	// reads (and explicitly spelled defaults) fold to zero, and the
+	// default full mesh folds to the empty spelling — a pre-topology spec,
+	// an explicit "fullmesh" spec, and a spec dragging an inert knob along
+	// must all share one canonical form and one content address.
+	tp := topo.CanonicalParams(n.Hardware.Config.TopologyParams())
+	if tp.Name == topo.Default {
+		tp.Name = ""
+	}
+	n.Hardware.Config.Topology = tp.Name
+	n.Hardware.Config.TopologyMeshCols = tp.MeshCols
+	n.Hardware.Config.TopologyPackageSize = tp.PackageSize
+	n.Hardware.Config.TopologyTrunkGBs = tp.TrunkGBs
+	n.Hardware.Config.TopologyBackplaneGBs = tp.BackplaneGBs
 	if n.Workload.Inline != nil {
 		sp := *n.Workload.Inline
 		n.Workload.Inline = &sp
@@ -289,6 +305,12 @@ func validOptions(opt multigpu.Options) (err error) {
 	opt.Cache.Validate()
 	if opt.OverlapFactor < 0 || opt.OverlapFactor > 1 {
 		return fmt.Errorf("multigpu: OverlapFactor %v out of [0,1]", opt.OverlapFactor)
+	}
+	// Resolve the topology here rather than letting multigpu.New panic
+	// inside a worker: an unknown or inconsistent topology is an input
+	// error, reported with the registered alternatives.
+	if err := topo.Validate(opt.Config.TopologyParams()); err != nil {
+		return err
 	}
 	return nil
 }

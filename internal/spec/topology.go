@@ -1,0 +1,30 @@
+package spec
+
+import "oovr/internal/topo"
+
+// The interconnect topology is the fourth named-component axis of a
+// RunSpec, carried inside the hardware block (hardware.Config.Topology plus
+// its Topology* parameters — strict decoding rejects typos like every other
+// hardware knob). The registry itself lives in internal/topo so the fabric
+// can build from it without importing the spec layer; this file is the spec
+// surface over it: registration for user topologies, the listing the oovrd
+// /topologies endpoint serves, and — in Normalized — canonicalization of
+// the name (aliases and case fold to the primary spelling, and the default
+// full mesh folds to the empty spelling, so a pre-topology spec and an
+// explicit "fullmesh" spec share one canonical form and content address).
+
+// TopologyBuilder constructs a user topology's links into a graph whose GPM
+// nodes already exist; see internal/topo.Register.
+type TopologyBuilder = func(gb *topo.GraphBuilder, p topo.Params) error
+
+// RegisterTopology adds a named interconnect topology (plus aliases), so
+// RunSpec hardware blocks can reference it by string. The built-ins are
+// fullmesh (the default), ring, chain, mesh2d, switch and hierarchical.
+// Names are case-insensitive; registering a taken name panics.
+func RegisterTopology(name string, build TopologyBuilder, aliases ...string) {
+	topo.Register(name, build, aliases...)
+}
+
+// TopologyNames returns the sorted primary names of all registered
+// topologies.
+func TopologyNames() []string { return topo.Names() }

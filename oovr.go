@@ -300,11 +300,20 @@ func RegisterWorkload(name string, c BenchmarkCase) { spec.RegisterWorkload(name
 // striped, partitioned, gpm0).
 func RegisterLayout(name string, f LayoutFunc) { spec.RegisterLayout(name, f) }
 
-// RegisteredPlanners, RegisteredWorkloads and RegisteredLayouts list the
-// sorted registered names — the same listings oovrd serves.
-func RegisteredPlanners() []string  { return spec.PlannerNames() }
-func RegisteredWorkloads() []string { return spec.WorkloadNames() }
-func RegisteredLayouts() []string   { return spec.LayoutNames() }
+// RegisterTopology adds a named interconnect topology, referenced from
+// HardwareConfig.Topology (pre-registered: fullmesh, ring, chain, mesh2d,
+// switch, hierarchical — DESIGN.md §8).
+func RegisterTopology(name string, build spec.TopologyBuilder, aliases ...string) {
+	spec.RegisterTopology(name, build, aliases...)
+}
+
+// RegisteredPlanners, RegisteredWorkloads, RegisteredLayouts and
+// RegisteredTopologies list the sorted registered names — the same listings
+// oovrd serves.
+func RegisteredPlanners() []string   { return spec.PlannerNames() }
+func RegisteredWorkloads() []string  { return spec.WorkloadNames() }
+func RegisteredLayouts() []string    { return spec.LayoutNames() }
+func RegisteredTopologies() []string { return spec.TopologyNames() }
 
 // NewPlanner resolves a registered policy by name; unknown names error
 // with the sorted registered list.
@@ -339,6 +348,7 @@ var (
 	Figure16            = experiments.F16Traffic
 	Figure17            = experiments.F17BandwidthScaling
 	Figure18            = experiments.F18GPMScaling
+	FigureTopology      = experiments.FTopology
 	OverheadAnalysis    = experiments.O1Overhead
 	ResidualTraffic     = experiments.TrafficBreakdown
 	AblationNoBatching  = experiments.A1NoBatching

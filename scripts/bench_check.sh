@@ -1,10 +1,13 @@
 #!/bin/sh
 # bench_check.sh — benchmark-regression gate (used by CI).
 #
-# Runs the benchmark suite into a temp snapshot and compares the
-# BenchmarkSimulatorFrame hot path against the newest checked-in
-# BENCH_*.json baseline; exits non-zero when the hot path is more than
-# MAX_SLOWDOWN_PCT percent slower.
+# Runs the benchmark suite into a temp snapshot and compares the gated hot
+# paths — BenchmarkSimulatorFrame (one OO-VR frame end to end) and the two
+# BenchmarkFabricReserve variants (interconnect reservation, fullmesh and
+# switch) — against the newest checked-in BENCH_*.json baseline; exits
+# non-zero when any gated benchmark is more than MAX_SLOWDOWN_PCT percent
+# slower. A gated benchmark absent from an older baseline is skipped with a
+# note (refresh the snapshot with scripts/bench.sh to arm it).
 #
 # Usage: scripts/bench_check.sh [benchtime]   (default 3x)
 # Env:   BASELINE=path   override baseline selection
@@ -26,24 +29,38 @@ trap 'rm -f "$fresh"' EXIT
 OUT="$fresh" scripts/bench.sh "$benchtime" > /dev/null
 
 extract() {
-    # Pull BenchmarkSimulatorFrame's ns_per_op out of a snapshot without
-    # depending on jq.
-    sed -n 's/.*"BenchmarkSimulatorFrame", "ns_per_op": \([0-9.e+]*\).*/\1/p' "$1"
+    # Pull a benchmark's ns_per_op out of a snapshot without depending on
+    # jq. $1 = benchmark name (may contain a sub-benchmark slash), $2 = file.
+    sed -n 's|.*"'"$1"'", "ns_per_op": \([0-9.e+]*\).*|\1|p' "$2"
 }
 
-base_ns=$(extract "$baseline")
-new_ns=$(extract "$fresh")
-if [ -z "$base_ns" ] || [ -z "$new_ns" ]; then
-    echo "bench_check: BenchmarkSimulatorFrame missing from $baseline or the fresh run" >&2
-    exit 2
-fi
+status=0
+for bench in BenchmarkSimulatorFrame \
+             BenchmarkFabricReserve/fullmesh \
+             BenchmarkFabricReserve/switch; do
+    base_ns=$(extract "$bench" "$baseline")
+    new_ns=$(extract "$bench" "$fresh")
+    if [ -z "$new_ns" ]; then
+        echo "bench_check: $bench missing from the fresh run" >&2
+        status=2
+        continue
+    fi
+    if [ -z "$base_ns" ]; then
+        echo "$bench: not in $baseline, skipped (refresh with scripts/bench.sh)"
+        continue
+    fi
+    awk -v base="$base_ns" -v new="$new_ns" -v pct="$threshold" \
+        -v from="$baseline" -v name="$bench" 'BEGIN {
+        change = (new - base) / base * 100
+        printf "%s: %.0f ns/op vs %.0f ns/op in %s (%+.1f%%)\n", name, new, base, from, change
+        if (change > pct) {
+            printf "FAIL: %s regressed more than %g%%\n", name, pct
+            exit 1
+        }
+    }' || status=1
+done
 
-awk -v base="$base_ns" -v new="$new_ns" -v pct="$threshold" -v from="$baseline" 'BEGIN {
-    change = (new - base) / base * 100
-    printf "BenchmarkSimulatorFrame: %.0f ns/op vs %.0f ns/op in %s (%+.1f%%)\n", new, base, from, change
-    if (change > pct) {
-        printf "FAIL: hot path regressed more than %g%%\n", pct
-        exit 1
-    }
-    print "OK: within the regression budget"
-}'
+if [ "$status" -eq 0 ]; then
+    echo "OK: within the regression budget"
+fi
+exit "$status"
