@@ -4,28 +4,48 @@
 // canonical spec encoding, so resubmitting an identical spec returns the
 // stored bytes (X-Oovrd-Cache: hit) without running anything.
 //
-// Usage:
+// Standalone, the daemon also mounts the fleet coordinator under /fleet/:
+// submitted spec matrices become a lease-based work queue that remote
+// workers drain. A worker is the same binary in pull mode:
 //
-//	oovrd [-addr :8037] [-workers N] [-cache 4096]
+//	oovrd [-addr :8037] [-workers N] [-cache 4096] [-lease 15s] [-drain 15s]
+//	oovrd -worker -coordinator http://host:8037 [-name w1]
+//	      [-chaos crash=P,stall=P,corrupt=P,seed=N]
+//
+// Both roles drain gracefully on SIGINT/SIGTERM: the server stops
+// accepting, lets in-flight requests finish within the -drain deadline,
+// and the coordinator stops granting leases; a worker finishes and
+// reports its in-flight lease, then exits. -chaos injects deterministic
+// faults (abandoned leases, stalls past the straggler threshold, corrupt
+// results) so a fleet's failure handling can be rehearsed on purpose.
 //
 // Quick start:
 //
 //	oovrd &
+//	oovrd -worker -coordinator http://localhost:8037 &
 //	oovrsim -bench HL2-1280 -scheme oovr -dump-spec > spec.json
 //	curl -s -d @spec.json localhost:8037/run | jq .metrics.TotalCycles
-//	curl -s localhost:8037/schedulers
+//	oovrsim -all -fleet http://localhost:8037      # sweep via the fleet
 //
-// See internal/server for the endpoint list and README.md for a walkthrough.
+// See internal/server for the endpoint list, internal/fleet for the
+// lease protocol, and README.md for a walkthrough.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
+	"time"
 
+	"oovr/internal/fleet"
 	"oovr/internal/server"
 	"oovr/internal/spec"
 )
@@ -34,16 +54,107 @@ func main() {
 	addr := flag.String("addr", ":8037", "listen address")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent simulations (the worker pool bound)")
 	cache := flag.Int("cache", 4096, "max cached results (negative disables the cache)")
+	lease := flag.Duration("lease", 15*time.Second, "fleet lease TTL before an unrenewed spec re-queues")
+	drain := flag.Duration("drain", 15*time.Second, "shutdown deadline for in-flight requests")
+	workerMode := flag.Bool("worker", false, "run as a fleet worker pulling leased specs instead of serving")
+	coordinator := flag.String("coordinator", "", "coordinator base URL (required with -worker)")
+	name := flag.String("name", "", "worker name (default host-pid)")
+	chaosFlag := flag.String("chaos", "", "worker fault injection: crash=P,stall=P,corrupt=P,seed=N")
 	flag.Parse()
 
-	srv := server.New(server.Options{Workers: *workers, CacheEntries: *cache})
-	fmt.Printf("oovrd listening on %s (%d workers, cache %d)\n", *addr, *workers, *cache)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *workerMode {
+		if err := runWorker(ctx, *coordinator, *name, *chaosFlag, *workers, *cache); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *chaosFlag != "" {
+		fmt.Fprintln(os.Stderr, "-chaos applies to workers; start this daemon with -worker")
+		os.Exit(2)
+	}
+	if err := serve(ctx, *addr, *workers, *cache, *lease, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the job server with the fleet coordinator mounted beside it,
+// until the context dies; then it drains — the coordinator stops granting
+// leases and in-flight requests get the drain deadline to finish.
+func serve(ctx context.Context, addr string, workers, cache int, lease, drain time.Duration) error {
+	srv := server.New(server.Options{Workers: workers, CacheEntries: cache})
+	coord := fleet.NewCoordinator(fleet.CoordinatorOptions{LeaseTTL: lease})
+	mux := http.NewServeMux()
+	mux.Handle("/fleet/", coord)
+	mux.Handle("/", srv)
+
+	hs := &http.Server{
+		Addr:    addr,
+		Handler: mux,
+		// A peer that dribbles its headers must not hold a connection
+		// hostage; request bodies are separately bounded by the handlers.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("oovrd listening on %s (%d workers, cache %d, lease %s)\n", addr, workers, cache, lease)
 	fmt.Printf("  schedulers: %s\n", strings.Join(spec.PlannerNames(), ", "))
 	fmt.Printf("  workloads:  %s\n", strings.Join(spec.WorkloadNames(), ", "))
 	fmt.Printf("  layouts:    %s\n", strings.Join(spec.LayoutNames(), ", "))
 	fmt.Printf("  topologies: %s\n", strings.Join(spec.TopologyNames(), ", "))
-	if err := http.ListenAndServe(*addr, srv); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
 	}
+	fmt.Println("oovrd draining")
+	coord.Drain()
+	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}
+
+// runWorker pulls leased specs from the coordinator and executes them
+// through the same single-flight content-addressed machinery the HTTP
+// endpoints use — an identical spec leased twice (or arriving later over
+// /run) shares one execution and one cached body.
+func runWorker(ctx context.Context, coordinator, name, chaosFlag string, workers, cache int) error {
+	if coordinator == "" {
+		return fmt.Errorf("-worker needs -coordinator URL")
+	}
+	chaos, err := fleet.ParseChaos(chaosFlag)
+	if err != nil {
+		return err
+	}
+	if name == "" {
+		host, _ := os.Hostname()
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	exec := server.New(server.Options{Workers: workers, CacheEntries: cache})
+	w := &fleet.Worker{
+		Coordinator: strings.TrimRight(coordinator, "/"),
+		Name:        name,
+		Chaos:       chaos,
+		Logf:        log.New(os.Stderr, name+" ", log.LstdFlags).Printf,
+		Exec: func(rs spec.RunSpec) ([]byte, error) {
+			body, _, _, err := exec.Result(context.Background(), rs)
+			if err != nil && !server.IsExecError(err) {
+				// The spec itself is bad (unknown component, invalid
+				// hardware): quarantine it fleet-wide instead of burning
+				// its retry budget on other workers.
+				return nil, fleet.Permanent(err)
+			}
+			return body, err
+		},
+	}
+	fmt.Printf("oovrd worker %s pulling from %s (%d slots, chaos %q)\n", name, coordinator, workers, chaosFlag)
+	return w.Run(ctx)
 }

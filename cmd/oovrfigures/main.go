@@ -5,7 +5,7 @@
 //
 //	oovrfigures [-exp all|T1|T2|T3|E0|F4|F7|F8|F9|F10|F15|F16|F17|F18|FT|O1|BRK|A1|A2|A3|A4]
 //	            [-frames N] [-seed S] [-csv] [-parallel N] [-topology NAME]
-//	            [-spec file.json] [-dump-spec]
+//	            [-spec file.json] [-dump-spec] [-fleet http://host:8037]
 //
 // FT is the post-paper topology-sensitivity figure: OO-VR speedup over the
 // baseline per interconnect topology and link bandwidth. -topology runs
@@ -24,13 +24,18 @@
 // -parallel spreads independent simulation cases across N worker
 // goroutines (default: all CPUs). Each case binds its own simulator
 // instance and results are assembled by index, so the output is identical
-// to a serial (-parallel 1) run.
+// to a serial (-parallel 1) run. -fleet redirects every simulation to the
+// fleet coordinator at the given base URL — sharding a figure across
+// machines is that one flag, and because runs are content-addressed the
+// printed numbers are bit-identical to a local run (-parallel then bounds
+// in-flight fleet requests instead of local simulations).
 //
 // Each figure's caption restates the paper's reported numbers so the output
 // reads as a paper-vs-measured comparison; EXPERIMENTS.md archives one run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +44,7 @@ import (
 	"strings"
 
 	"oovr/internal/experiments"
+	"oovr/internal/fleet"
 	"oovr/internal/gpu"
 	"oovr/internal/multigpu"
 	"oovr/internal/spec"
@@ -56,9 +62,16 @@ func main() {
 	topology := flag.String("topology", "", "run the experiments on this registered interconnect topology (default fullmesh)")
 	specPath := flag.String("spec", "", "RunSpec file used as the experiment template (hardware, frames, seed, workload)")
 	dumpSpec := flag.Bool("dump-spec", false, "print the scheduler-by-case job matrix as a RunSpec array and exit")
+	fleetURL := flag.String("fleet", "", "execute every simulation via the fleet coordinator at this base URL")
 	flag.Parse()
 
 	opt := experiments.Options{Frames: *frames, Seed: *seed, Parallel: *parallel}
+	if *fleetURL != "" {
+		c := &fleet.Client{URL: strings.TrimRight(*fleetURL, "/")}
+		opt.Runner = func(rs spec.RunSpec) (multigpu.Metrics, error) {
+			return c.RunOne(context.Background(), rs)
+		}
+	}
 	if *specPath != "" {
 		applyTemplate(&opt, *specPath)
 	}

@@ -6,7 +6,8 @@
 //
 //	oovrsim [-bench HL2-1280] [-scheme oovr] [-gpms 4] [-link 64]
 //	        [-topology fullmesh] [-frames 4] [-seed 1] [-placement striped]
-//	        [-all] [-parallel N] [-spec file.json] [-dump-spec] [-v]
+//	        [-all] [-parallel N] [-spec file.json] [-dump-spec]
+//	        [-fleet http://host:8037] [-v]
 //
 // -topology selects a registered interconnect topology (fullmesh, ring,
 // chain, mesh2d, switch, hierarchical); -v additionally prints every
@@ -23,15 +24,22 @@
 //
 // With -all, every registered scheduler runs and prints a comparison;
 // -parallel bounds the concurrent simulations (each binds its own system,
-// so the printed table is identical to a serial run).
+// so the printed table is identical to a serial run). -fleet executes the
+// same specs through a fleet coordinator instead of in-process: the sweep
+// is sharded across whatever workers are pulling from it, each returned
+// Result is re-verified against its content address, and the printed
+// numbers are bit-identical to a local run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
+	"oovr/internal/fleet"
 	"oovr/internal/multigpu"
 	"oovr/internal/par"
 	"oovr/internal/spec"
@@ -49,6 +57,7 @@ func main() {
 	all := flag.Bool("all", false, "run every registered scheduler and print a comparison")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "with -all: worker goroutines (output is identical for any value)")
 	specPath := flag.String("spec", "", "run this RunSpec file instead of translating the flags")
+	fleetURL := flag.String("fleet", "", "execute via the fleet coordinator at this base URL instead of in-process")
 	dumpSpec := flag.Bool("dump-spec", false, "print the run's RunSpec (JSON) and exit without simulating")
 	verbose := flag.Bool("v", false, "also print per-link interconnect statistics, sorted by link name")
 	flag.Parse()
@@ -115,11 +124,30 @@ func main() {
 	}
 
 	ms := make([]multigpu.Metrics, len(specs))
-	// Each scheduler simulates on its own system, so the comparison rows
-	// compute concurrently; printing stays in registry order.
-	par.ForEach(*parallel, len(runs), func(i int) {
-		ms[i] = runs[i].Execute()
-	})
+	if *fleetURL != "" {
+		// The coordinator shards the sweep across its workers; results come
+		// back in submission order and are re-verified against their content
+		// addresses here, so the table below is bit-identical to in-process
+		// execution no matter which machines computed it.
+		c := &fleet.Client{URL: strings.TrimRight(*fleetURL, "/")}
+		bodies, err := c.RunMatrix(context.Background(), specs)
+		if err != nil {
+			fail(err)
+		}
+		for i, b := range bodies {
+			res, err := fleet.DecodeVerifiedResult(b)
+			if err != nil {
+				fail(err)
+			}
+			ms[i] = res.Metrics
+		}
+	} else {
+		// Each scheduler simulates on its own system, so the comparison rows
+		// compute concurrently; printing stays in registry order.
+		par.ForEach(*parallel, len(runs), func(i int) {
+			ms[i] = runs[i].Execute()
+		})
+	}
 
 	if *all {
 		n, err := base.Normalized()

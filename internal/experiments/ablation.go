@@ -82,7 +82,7 @@ func A4TSLSweep(o Options) stats.Figure {
 			v.Middleware.TriangleCap = cap
 			ratios := make([]float64, len(o.Cases))
 			o.forEach(len(o.Cases), func(ci int) {
-				m := runCase(o.Cases[ci], "oovr", oovrParams(v), o.sysOptions(), o.Frames, o.Seed)
+				m := o.runCase(o.Cases[ci], "oovr", oovrParams(v), o.sysOptions(), o.Frames, o.Seed)
 				ratios[ci] = base[ci] / m.AvgFrameLatency()
 			})
 			labels = append(labels, fmt.Sprintf("th%.1f/cap%d", th, cap))
@@ -102,7 +102,7 @@ func baselineLatencies(o Options) []float64 {
 	o = o.defaults()
 	base := make([]float64, len(o.Cases))
 	o.forEach(len(o.Cases), func(ci int) {
-		base[ci] = runCase(o.Cases[ci], "baseline", nil, o.sysOptions(), o.Frames, o.Seed).AvgFrameLatency()
+		base[ci] = o.runCase(o.Cases[ci], "baseline", nil, o.sysOptions(), o.Frames, o.Seed).AvgFrameLatency()
 	})
 	return base
 }
@@ -115,7 +115,7 @@ func ablationFigure(o Options, id, caption string, variants map[string]core.OOVR
 		v := variants[name]
 		vals := make([]float64, len(o.Cases))
 		o.forEach(len(o.Cases), func(ci int) {
-			m := runCase(o.Cases[ci], "oovr", oovrParams(v), o.sysOptions(), o.Frames, o.Seed)
+			m := o.runCase(o.Cases[ci], "oovr", oovrParams(v), o.sysOptions(), o.Frames, o.Seed)
 			vals[ci] = base[ci] / m.AvgFrameLatency()
 		})
 		fig.AddSeries(name, vals)

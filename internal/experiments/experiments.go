@@ -40,6 +40,12 @@ type Options struct {
 	// multigpu.System and results are assembled by index, so any Parallel
 	// value produces output identical to a serial run.
 	Parallel int
+	// Runner, when set, executes each case's RunSpec instead of the
+	// in-process spec layer — the seam that lets cmd/oovrfigures shard a
+	// figure across a fleet (fleet.Client.RunOne) without the figure code
+	// knowing. Runs are content-addressed, so a remote Runner returns
+	// bit-identical metrics to a local one.
+	Runner func(spec.RunSpec) (multigpu.Metrics, error)
 }
 
 // Defaults fills unset fields.
@@ -96,6 +102,22 @@ func runCase(c workload.Case, scheduler string, params json.RawMessage, sysOpt m
 	if err != nil {
 		// The harness's names and params are static; a failure here is a
 		// programming error, not an input error.
+		panic(err)
+	}
+	return m
+}
+
+// runCase is the figures' execution funnel: local spec-layer execution by
+// default, or o.Runner (a fleet, a recorder) when set. A Runner failure is
+// fatal for the same reason a local one is — the harness submits only
+// specs it built itself, so the remaining causes (fleet quarantine,
+// integrity mismatch, a dead coordinator) all invalidate the figure.
+func (o Options) runCase(c workload.Case, scheduler string, params json.RawMessage, sysOpt multigpu.Options, frames int, seed int64) multigpu.Metrics {
+	if o.Runner == nil {
+		return runCase(c, scheduler, params, sysOpt, frames, seed)
+	}
+	m, err := o.Runner(caseSpec(c, scheduler, params, sysOpt, frames, seed))
+	if err != nil {
 		panic(err)
 	}
 	return m
@@ -193,8 +215,8 @@ func E0SMPValidation(o Options) stats.Figure {
 	}
 	speedups := make([]float64, len(cases))
 	o.forEach(len(cases), func(ci int) {
-		seq := runCase(cases[ci], "single", json.RawMessage(`{"Mode": "sequential"}`), sysOpt, o.Frames, o.Seed)
-		smp := runCase(cases[ci], "single", json.RawMessage(`{"Mode": "smp"}`), sysOpt, o.Frames, o.Seed)
+		seq := o.runCase(cases[ci], "single", json.RawMessage(`{"Mode": "sequential"}`), sysOpt, o.Frames, o.Seed)
+		smp := o.runCase(cases[ci], "single", json.RawMessage(`{"Mode": "smp"}`), sysOpt, o.Frames, o.Seed)
 		speedups[ci] = seq.TotalCycles / smp.TotalCycles
 	})
 	fig.AddSeries("SMP speedup", speedups)
@@ -256,7 +278,7 @@ func F4Bandwidth(o Options) stats.Figure {
 		sysOpt.Config = sysOpt.Config.WithLinkGBs(bw)
 		vals := make([]float64, len(o.Cases))
 		o.forEach(len(o.Cases), func(ci int) {
-			m := runCase(o.Cases[ci], "baseline", nil, sysOpt, o.Frames, o.Seed)
+			m := o.runCase(o.Cases[ci], "baseline", nil, sysOpt, o.Frames, o.Seed)
 			if bi == 0 {
 				ref[ci] = m.TotalCycles
 			}
@@ -292,8 +314,8 @@ func F7AFR(o Options) stats.Figure {
 	perf := make([]float64, len(o.Cases))
 	lat := make([]float64, len(o.Cases))
 	o.forEach(len(o.Cases), func(ci int) {
-		base := runCase(o.Cases[ci], "baseline", nil, o.sysOptions(), o.Frames, o.Seed)
-		afr := runCase(o.Cases[ci], "afr", nil, o.sysOptions(), o.Frames, o.Seed)
+		base := o.runCase(o.Cases[ci], "baseline", nil, o.sysOptions(), o.Frames, o.Seed)
+		afr := o.runCase(o.Cases[ci], "afr", nil, o.sysOptions(), o.Frames, o.Seed)
 		perf[ci] = base.FPSCycles() / afr.FPSCycles()
 		lat[ci] = afr.AvgFrameLatency() / base.AvgFrameLatency()
 	})
@@ -315,12 +337,12 @@ func F8SFRPerformance(o Options) stats.Figure {
 	schemes := []string{"tilev", "tileh", "object"}
 	base := make([]float64, len(o.Cases))
 	o.forEach(len(o.Cases), func(ci int) {
-		base[ci] = runCase(o.Cases[ci], "baseline", nil, o.sysOptions(), o.Frames, o.Seed).FPSCycles()
+		base[ci] = o.runCase(o.Cases[ci], "baseline", nil, o.sysOptions(), o.Frames, o.Seed).FPSCycles()
 	})
 	for _, s := range schemes {
 		vals := make([]float64, len(o.Cases))
 		o.forEach(len(o.Cases), func(ci int) {
-			vals[ci] = base[ci] / runCase(o.Cases[ci], s, nil, o.sysOptions(), o.Frames, o.Seed).FPSCycles()
+			vals[ci] = base[ci] / o.runCase(o.Cases[ci], s, nil, o.sysOptions(), o.Frames, o.Seed).FPSCycles()
 		})
 		fig.AddSeries(plannerLabel(s), vals)
 	}
@@ -340,12 +362,12 @@ func F9SFRTraffic(o Options) stats.Figure {
 	schemes := []string{"tilev", "tileh", "object"}
 	base := make([]float64, len(o.Cases))
 	o.forEach(len(o.Cases), func(ci int) {
-		base[ci] = runCase(o.Cases[ci], "baseline", nil, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes
+		base[ci] = o.runCase(o.Cases[ci], "baseline", nil, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes
 	})
 	for _, s := range schemes {
 		vals := make([]float64, len(o.Cases))
 		o.forEach(len(o.Cases), func(ci int) {
-			vals[ci] = runCase(o.Cases[ci], s, nil, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes / base[ci]
+			vals[ci] = o.runCase(o.Cases[ci], s, nil, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes / base[ci]
 		})
 		fig.AddSeries(plannerLabel(s), vals)
 	}
@@ -363,7 +385,7 @@ func F10Imbalance(o Options) stats.Figure {
 	}
 	vals := make([]float64, len(o.Cases))
 	o.forEach(len(o.Cases), func(ci int) {
-		vals[ci] = runCase(o.Cases[ci], "object", nil, o.sysOptions(), o.Frames, o.Seed).BestToWorstBusyRatio()
+		vals[ci] = o.runCase(o.Cases[ci], "object", nil, o.sysOptions(), o.Frames, o.Seed).BestToWorstBusyRatio()
 	})
 	fig.AddSeries("Best-to-worst ratio", vals)
 	return fig
@@ -382,12 +404,12 @@ func F15Speedup(o Options) stats.Figure {
 	}
 	base := make([]float64, len(o.Cases))
 	o.forEach(len(o.Cases), func(ci int) {
-		base[ci] = runCase(o.Cases[ci], "baseline", nil, o.sysOptions(), o.Frames, o.Seed).AvgFrameLatency()
+		base[ci] = o.runCase(o.Cases[ci], "baseline", nil, o.sysOptions(), o.Frames, o.Seed).AvgFrameLatency()
 	})
 	addNormalized := func(name, sched string, sysOpt multigpu.Options) {
 		vals := make([]float64, len(o.Cases))
 		o.forEach(len(o.Cases), func(ci int) {
-			vals[ci] = base[ci] / runCase(o.Cases[ci], sched, nil, sysOpt, o.Frames, o.Seed).AvgFrameLatency()
+			vals[ci] = base[ci] / o.runCase(o.Cases[ci], sched, nil, sysOpt, o.Frames, o.Seed).AvgFrameLatency()
 		})
 		fig.AddSeries(name, vals)
 	}
@@ -413,13 +435,13 @@ func F16Traffic(o Options) stats.Figure {
 	}
 	base := make([]float64, len(o.Cases))
 	o.forEach(len(o.Cases), func(ci int) {
-		base[ci] = runCase(o.Cases[ci], "baseline", nil, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes
+		base[ci] = o.runCase(o.Cases[ci], "baseline", nil, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes
 	})
 	fig.AddSeries("Baseline", stats.Normalize(base, base))
 	for _, s := range []string{"object", "oovr"} {
 		vals := make([]float64, len(o.Cases))
 		o.forEach(len(o.Cases), func(ci int) {
-			vals[ci] = runCase(o.Cases[ci], s, nil, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes / base[ci]
+			vals[ci] = o.runCase(o.Cases[ci], s, nil, o.sysOptions(), o.Frames, o.Seed).InterGPMBytes / base[ci]
 		})
 		fig.AddSeries(plannerLabel(s), vals)
 	}
@@ -442,7 +464,7 @@ func F17BandwidthScaling(o Options) stats.Figure {
 	refOpt.Config = refOpt.Config.WithLinkGBs(64)
 	ref := make([]float64, len(o.Cases))
 	o.forEach(len(o.Cases), func(ci int) {
-		ref[ci] = runCase(o.Cases[ci], "baseline", nil, refOpt, o.Frames, o.Seed).TotalCycles
+		ref[ci] = o.runCase(o.Cases[ci], "baseline", nil, refOpt, o.Frames, o.Seed).TotalCycles
 	})
 	for _, s := range []string{"baseline", "object", "oovr"} {
 		vals := make([]float64, len(bws))
@@ -451,7 +473,7 @@ func F17BandwidthScaling(o Options) stats.Figure {
 			sysOpt.Config = sysOpt.Config.WithLinkGBs(bw)
 			ratios := make([]float64, len(o.Cases))
 			o.forEach(len(o.Cases), func(ci int) {
-				m := runCase(o.Cases[ci], s, nil, sysOpt, o.Frames, o.Seed)
+				m := o.runCase(o.Cases[ci], s, nil, sysOpt, o.Frames, o.Seed)
 				ratios[ci] = ref[ci] / m.TotalCycles
 			})
 			vals[bi] = stats.GeoMean(ratios)
@@ -477,7 +499,7 @@ func F18GPMScaling(o Options) stats.Figure {
 	oneOpt.Config = oneOpt.Config.WithGPMs(1)
 	ref := make([]float64, len(o.Cases))
 	o.forEach(len(o.Cases), func(ci int) {
-		ref[ci] = runCase(o.Cases[ci], "single", nil, oneOpt, o.Frames, o.Seed).TotalCycles
+		ref[ci] = o.runCase(o.Cases[ci], "single", nil, oneOpt, o.Frames, o.Seed).TotalCycles
 	})
 	for _, s := range []string{"baseline", "object", "oovr"} {
 		vals := make([]float64, len(counts))
@@ -486,7 +508,7 @@ func F18GPMScaling(o Options) stats.Figure {
 			sysOpt.Config = sysOpt.Config.WithGPMs(n)
 			ratios := make([]float64, len(o.Cases))
 			o.forEach(len(o.Cases), func(ci int) {
-				m := runCase(o.Cases[ci], s, nil, sysOpt, o.Frames, o.Seed)
+				m := o.runCase(o.Cases[ci], s, nil, sysOpt, o.Frames, o.Seed)
 				ratios[ci] = ref[ci] / m.TotalCycles
 			})
 			vals[ni] = stats.GeoMean(ratios)
@@ -522,7 +544,7 @@ func TrafficBreakdown(o Options) stats.Figure {
 	}
 	ms := make([]multigpu.Metrics, len(o.Cases))
 	o.forEach(len(o.Cases), func(ci int) {
-		ms[ci] = runCase(o.Cases[ci], "oovr", nil, o.sysOptions(), o.Frames, o.Seed)
+		ms[ci] = o.runCase(o.Cases[ci], "oovr", nil, o.sysOptions(), o.Frames, o.Seed)
 	})
 	var sums [5]float64
 	for _, m := range ms {

@@ -36,8 +36,8 @@ func FTopology(o Options) stats.Figure {
 			sysOpt.Config = sysOpt.Config.WithTopology(tn).WithLinkGBs(bw)
 			ratios := make([]float64, len(o.Cases))
 			o.forEach(len(o.Cases), func(ci int) {
-				base := runCase(o.Cases[ci], "baseline", nil, sysOpt, o.Frames, o.Seed)
-				vr := runCase(o.Cases[ci], "oovr", nil, sysOpt, o.Frames, o.Seed)
+				base := o.runCase(o.Cases[ci], "baseline", nil, sysOpt, o.Frames, o.Seed)
+				vr := o.runCase(o.Cases[ci], "oovr", nil, sysOpt, o.Frames, o.Seed)
 				ratios[ci] = base.AvgFrameLatency() / vr.AvgFrameLatency()
 			})
 			vals[bi] = stats.GeoMean(ratios)

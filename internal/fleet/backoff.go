@@ -1,0 +1,77 @@
+package fleet
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes exponential retry delays with deterministic jitter:
+// Base doubles per attempt, capped at Max, then scaled by a random factor
+// in [1-Jitter, 1+Jitter] drawn from the seeded source. Workers use one
+// for coordinator RPC retries and a second for idle-queue polling; the
+// jitter keeps a fleet of identically-configured workers from hammering
+// the coordinator in lockstep after an outage.
+type Backoff struct {
+	Base   time.Duration // first delay (default 100ms)
+	Max    time.Duration // cap (default 5s)
+	Jitter float64       // fractional spread (default 0.5, 0 disables)
+
+	mu  sync.Mutex // a worker's heartbeat and pull loops share one Backoff
+	rng *rand.Rand
+}
+
+// NewBackoff returns a Backoff with the given bounds and a jitter source
+// seeded deterministically (same seed, same delay sequence).
+func NewBackoff(base, max time.Duration, seed int64) *Backoff {
+	b := &Backoff{Base: base, Max: max, Jitter: 0.5, rng: rand.New(rand.NewSource(seed))}
+	return b
+}
+
+func (b *Backoff) defaults() {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.rng == nil {
+		b.rng = rand.New(rand.NewSource(1))
+	}
+}
+
+// Delay returns the jittered delay for the given zero-based attempt.
+func (b *Backoff) Delay(attempt int) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.defaults()
+	d := b.Base
+	for i := 0; i < attempt && d < b.Max; i++ {
+		d *= 2
+	}
+	if d > b.Max {
+		d = b.Max
+	}
+	if b.Jitter > 0 {
+		f := 1 + b.Jitter*(2*b.rng.Float64()-1)
+		d = time.Duration(float64(d) * f)
+	}
+	return d
+}
+
+// sleep waits the given duration or until the context is done, reporting
+// whether the full wait elapsed.
+func sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

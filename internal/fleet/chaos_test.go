@@ -1,0 +1,141 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"oovr/internal/experiments"
+	"oovr/internal/server"
+	"oovr/internal/spec"
+)
+
+// TestChaosSweepMatchesLocalExecution is the acceptance run: the full
+// oovrfigures -dump-spec job matrix (every comparison scheduler over every
+// paper case) goes through a real coordinator and three chaos-afflicted
+// workers — leases abandoned without a word, stragglers sitting on results
+// past the speculative re-issue threshold, corrupt bodies with falsified
+// content addresses — and the collected sweep must still be byte-identical
+// to executing every spec in-process, every Result verified against its
+// content address on the client side.
+func TestChaosSweepMatchesLocalExecution(t *testing.T) {
+	specs := experiments.SpecMatrix(experiments.Options{}, nil)
+	if len(specs) < 60 {
+		t.Fatalf("matrix unexpectedly small: %d specs", len(specs))
+	}
+
+	// Expected bodies: plain in-process execution, no fleet anywhere.
+	expected := make([][]byte, len(specs))
+	for i, rs := range specs {
+		m, err := rs.Run()
+		if err != nil {
+			t.Fatalf("local run %d: %v", i, err)
+		}
+		res, err := spec.NewResult(rs, m)
+		if err != nil {
+			t.Fatalf("local result %d: %v", i, err)
+		}
+		expected[i], err = res.Encode()
+		if err != nil {
+			t.Fatalf("local encode %d: %v", i, err)
+		}
+	}
+
+	coord := NewCoordinator(CoordinatorOptions{
+		LeaseTTL:       300 * time.Millisecond,
+		RetryDelay:     20 * time.Millisecond,
+		MaxRetryDelay:  200 * time.Millisecond,
+		StragglerAfter: 900 * time.Millisecond,
+	})
+	ts := httptest.NewServer(coord)
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	workerCtx, stopWorkers := context.WithCancel(ctx)
+	defer stopWorkers()
+
+	chaos, err := ParseChaos("crash=0.2,stall=0.1,corrupt=0.05,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var workers []*Worker
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		exec := server.New(server.Options{Workers: 2, CacheEntries: 128})
+		w := &Worker{
+			Coordinator: ts.URL,
+			Name:        string(rune('a' + i)),
+			Chaos:       chaos,
+			// Longer than StragglerAfter: a stall must trip the speculative
+			// re-issue, and the staller's late duplicate must be dropped.
+			StallFor:    1500 * time.Millisecond,
+			RPCBackoff:  NewBackoff(10*time.Millisecond, 100*time.Millisecond, int64(i)),
+			IdleBackoff: NewBackoff(10*time.Millisecond, 50*time.Millisecond, int64(i)),
+			Logf:        t.Logf,
+			Exec: func(rs spec.RunSpec) ([]byte, error) {
+				body, _, _, err := exec.Result(context.Background(), rs)
+				if err != nil && !server.IsExecError(err) {
+					return nil, Permanent(err)
+				}
+				return body, err
+			},
+		}
+		workers = append(workers, w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(workerCtx); err != nil {
+				t.Errorf("worker %s: %v", w.Name, err)
+			}
+		}()
+	}
+
+	client := &Client{URL: ts.URL, Poll: 50 * time.Millisecond}
+	bodies, err := client.RunMatrix(ctx, specs)
+	if err != nil {
+		t.Fatalf("fleet sweep: %v", err)
+	}
+	stopWorkers()
+	wg.Wait()
+
+	if len(bodies) != len(specs) {
+		t.Fatalf("sweep returned %d bodies for %d specs", len(bodies), len(specs))
+	}
+	for i, b := range bodies {
+		if _, err := DecodeVerifiedResult(b); err != nil {
+			t.Errorf("spec %d: %v", i, err)
+			continue
+		}
+		if !bytes.Equal(b, expected[i]) {
+			t.Errorf("spec %d: fleet body differs from in-process execution", i)
+		}
+	}
+
+	// The run must actually have been chaotic: with ~63+ decisions at 35%
+	// total fault probability, a quiet run means the injection is broken.
+	var crashes, stalls, corrupts int64
+	for _, w := range workers {
+		crashes += w.Stats.Crashes.Load()
+		stalls += w.Stats.Stalls.Load()
+		corrupts += w.Stats.Corrupts.Load()
+	}
+	if crashes+stalls+corrupts == 0 {
+		t.Error("chaos injected no faults across the whole sweep")
+	}
+	st := coord.Status()
+	t.Logf("chaos sweep: %d crashes, %d stalls, %d corrupts; coordinator %+v",
+		crashes, stalls, corrupts, st.Counters)
+	if crashes > 0 && st.Counters.Expirations == 0 {
+		t.Error("workers crashed but the coordinator never expired a lease")
+	}
+	if corrupts > 0 && st.Counters.Corrupt == 0 {
+		t.Error("workers posted corrupt results but the integrity gate counted none")
+	}
+	if st.Counters.Quarantined != 0 {
+		t.Errorf("%d specs quarantined; chaos must never quarantine a healthy spec", st.Counters.Quarantined)
+	}
+}

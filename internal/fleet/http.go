@@ -1,0 +1,192 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"oovr/internal/spec"
+)
+
+// The wire protocol, all JSON over HTTP, mounted under /fleet/:
+//
+//	POST /fleet/submit    [RunSpec, ...] (the -dump-spec format)
+//	                      → {"sweep": id, "total": n}
+//	POST /fleet/lease     {"worker": name}
+//	                      → 200 Grant | 204 nothing dispatchable | 503 draining
+//	POST /fleet/renew     {"lease": id}      → 200 | 410 lease gone
+//	POST /fleet/complete  {"lease": id, "result": Result}
+//	                      → {"accepted": bool, "reason": ...}
+//	POST /fleet/fail      {"lease": id, "kind": "resolve"|"exec", "error": ...}
+//	GET  /fleet/collect?sweep=id → SweepStatus (results once done)
+//	GET  /fleet/status    → Status
+//
+// maxSweepBytes bounds one submitted sweep; it matches the job server's
+// /batch bound so any matrix /batch accepts, /fleet/submit accepts.
+const maxSweepBytes = 64 << 20
+
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+type renewRequest struct {
+	Lease int64 `json:"lease"`
+}
+
+type completeRequest struct {
+	Lease  int64           `json:"lease"`
+	Result json.RawMessage `json:"result"`
+}
+
+type failRequest struct {
+	Lease int64  `json:"lease"`
+	Kind  string `json:"kind"`
+	Error string `json:"error"`
+}
+
+type submitResponse struct {
+	Sweep string `json:"sweep"`
+	Total int    `json:"total"`
+}
+
+type completeResponse struct {
+	Accepted bool   `json:"accepted"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// ServeHTTP implements http.Handler for the /fleet/ endpoint family.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/fleet/submit":
+		c.handleSubmit(w, r)
+	case "/fleet/lease":
+		c.handleLease(w, r)
+	case "/fleet/renew":
+		c.handleRenew(w, r)
+	case "/fleet/complete":
+		c.handleComplete(w, r)
+	case "/fleet/fail":
+		c.handleFail(w, r)
+	case "/fleet/collect":
+		c.handleCollect(w, r)
+	case "/fleet/status":
+		httpJSON(w, http.StatusOK, c.Status())
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func postJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err == nil {
+		err = json.Unmarshal(body, v)
+	}
+	if err != nil {
+		httpJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var raw []json.RawMessage
+	if !postJSON(w, r, maxSweepBytes, &raw) {
+		return
+	}
+	// Same strictness as the job server's spec decoding: a typoed knob in
+	// any element refuses the whole sweep rather than silently running a
+	// default simulation somewhere in a 63-spec matrix.
+	specs := make([]spec.RunSpec, len(raw))
+	for i, b := range raw {
+		s, err := spec.Decode(bytes.NewReader(b))
+		if err != nil {
+			httpJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("element %d: %v", i, err)})
+			return
+		}
+		specs[i] = s
+	}
+	id, total, err := c.Submit(specs)
+	if err != nil {
+		httpJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	httpJSON(w, http.StatusOK, submitResponse{Sweep: id, Total: total})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if !postJSON(w, r, 4096, &req) {
+		return
+	}
+	g, err := c.Lease(req.Worker)
+	if err != nil {
+		httpJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return
+	}
+	if g == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	httpJSON(w, http.StatusOK, g)
+}
+
+func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
+	var req renewRequest
+	if !postJSON(w, r, 4096, &req) {
+		return
+	}
+	if err := c.Renew(req.Lease); err != nil {
+		httpJSON(w, http.StatusGone, map[string]string{"error": err.Error()})
+		return
+	}
+	httpJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if !postJSON(w, r, maxSweepBytes, &req) {
+		return
+	}
+	accepted, reason := c.Complete(req.Lease, req.Result)
+	httpJSON(w, http.StatusOK, completeResponse{Accepted: accepted, Reason: reason})
+}
+
+func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
+	var req failRequest
+	if !postJSON(w, r, 1<<20, &req) {
+		return
+	}
+	kind := FailExec
+	if req.Kind == string(FailResolve) {
+		kind = FailResolve
+	}
+	c.Fail(req.Lease, kind, req.Error)
+	httpJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (c *Coordinator) handleCollect(w http.ResponseWriter, r *http.Request) {
+	sweep := r.URL.Query().Get("sweep")
+	st, ok := c.Collect(sweep)
+	if !ok {
+		httpJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("fleet: unknown sweep %q", sweep)})
+		return
+	}
+	httpJSON(w, http.StatusOK, st)
+}
+
+func httpJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(b)
+}

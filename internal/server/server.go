@@ -23,6 +23,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -93,7 +94,13 @@ type Server struct {
 
 	mu    sync.Mutex
 	cache map[string]*entry
-	order []string // insertion order, for FIFO eviction
+	// order is the FIFO eviction queue: hashes from head onward, in
+	// insertion order. Evicted slots are cleared and head advances;
+	// remember compacts the dead prefix so the backing array stays
+	// bounded on a long-lived server instead of pinning every hash ever
+	// inserted.
+	order []string
+	head  int
 	stats Stats
 }
 
@@ -128,11 +135,16 @@ func (s *Server) Stats() Stats {
 	return s.stats
 }
 
-// result answers one spec: from the cache when its content address is
+// Result answers one spec: from the cache when its content address is
 // known, executing (at most once, under the worker pool) otherwise. The
 // hash is computed before anything resolves, so cache hits are served from
-// stored bytes without constructing a planner or a system.
-func (s *Server) result(rs spec.RunSpec) (body []byte, hash string, hit bool, err error) {
+// stored bytes without constructing a planner or a system. The context is
+// the submitter's interest: a run that has not yet acquired a worker-pool
+// slot when ctx dies is abandoned instead of simulating for nobody.
+// Exported as the execution seam the fleet worker shares with the HTTP
+// handlers — a worker pulling leased specs goes through the same
+// single-flight cache as a curl to /run.
+func (s *Server) Result(ctx context.Context, rs spec.RunSpec) (body []byte, hash string, hit bool, err error) {
 	hash, err = rs.Hash()
 	if err != nil {
 		return nil, "", false, err
@@ -143,7 +155,7 @@ func (s *Server) result(rs spec.RunSpec) (body []byte, hash string, hit bool, er
 		s.mu.Lock()
 		s.stats.CacheMisses++
 		s.mu.Unlock()
-		body, err = s.resolveAndExecute(rs)
+		body, err = s.resolveAndExecute(ctx, rs)
 		return body, hash, false, err
 	}
 
@@ -166,23 +178,36 @@ func (s *Server) result(rs spec.RunSpec) (body []byte, hash string, hit bool, er
 	s.stats.CacheMisses++
 	s.mu.Unlock()
 
-	e.body, e.err = s.resolveAndExecute(rs)
+	e.body, e.err = s.resolveAndExecute(ctx, rs)
 	s.mu.Lock()
 	if e.err != nil {
 		// Failed runs do not stay addressable; a corrected resubmission
 		// (or a transient failure) gets a fresh execution.
 		delete(s.cache, hash)
 	} else {
-		s.order = append(s.order, hash)
-		for len(s.order) > s.opt.CacheEntries {
-			delete(s.cache, s.order[0])
-			s.order = s.order[1:]
-			s.stats.Evictions++
-		}
+		s.remember(hash)
 	}
 	s.mu.Unlock()
 	close(e.done)
 	return e.body, hash, false, e.err
+}
+
+// remember enqueues a hash for FIFO eviction and applies the size bound.
+// Called with mu held. Cleared slots plus periodic compaction keep the
+// queue's backing array at O(CacheEntries) — advancing a slice header
+// alone would pin every evicted hash for the life of the server.
+func (s *Server) remember(hash string) {
+	s.order = append(s.order, hash)
+	for len(s.order)-s.head > s.opt.CacheEntries {
+		delete(s.cache, s.order[s.head])
+		s.order[s.head] = ""
+		s.head++
+		s.stats.Evictions++
+	}
+	if s.head > 32 && s.head*2 >= len(s.order) {
+		s.order = append(s.order[:0], s.order[s.head:]...)
+		s.head = 0
+	}
 }
 
 // execError marks a failure that happened after the spec resolved —
@@ -190,12 +215,23 @@ func (s *Server) result(rs spec.RunSpec) (body []byte, hash string, hit bool, er
 // submission gets.
 type execError struct{ error }
 
+func (e execError) Unwrap() error { return e.error }
+
+// IsExecError reports whether err arose after the spec resolved:
+// server-side (retryable) trouble rather than a bad submission. The fleet
+// worker uses it to classify failures — resolve errors quarantine a spec,
+// exec errors consume its retry budget.
+func IsExecError(err error) bool {
+	var ee execError
+	return errors.As(err, &ee)
+}
+
 // resolveAndExecute resolves a spec (client errors) and runs it (server
 // errors) — the miss path. The recover sits here, above both phases: a
 // panicking user-registered factory or simulation must neither wedge the
 // in-flight cache entry (its close would be skipped) nor crash a /batch
 // worker goroutine; it reports as a server-side error instead.
-func (s *Server) resolveAndExecute(rs spec.RunSpec) (body []byte, err error) {
+func (s *Server) resolveAndExecute(ctx context.Context, rs spec.RunSpec) (body []byte, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = execError{fmt.Errorf("run panicked: %v", p)}
@@ -205,13 +241,24 @@ func (s *Server) resolveAndExecute(rs spec.RunSpec) (body []byte, err error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.execute(run)
+	return s.execute(ctx, run)
 }
 
 // execute runs one resolved spec under the worker pool and encodes its
-// canonical Result. Panics are caught by resolveAndExecute.
-func (s *Server) execute(run *spec.Run) (body []byte, err error) {
-	s.sem <- struct{}{}
+// canonical Result. Panics are caught by resolveAndExecute. The context
+// gates slot acquisition only: a submitter that has disconnected must not
+// take a simulation slot for a result nobody will read, but once a run
+// holds a slot it completes (and lands in the cache) regardless — a
+// simulation cannot be unwound halfway.
+func (s *Server) execute(ctx context.Context, run *spec.Run) (body []byte, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("abandoned before execution: %w", err)
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("abandoned waiting for an execution slot: %w", ctx.Err())
+	}
 	defer func() { <-s.sem }()
 	m := run.Execute()
 	s.mu.Lock()
@@ -239,7 +286,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	body, hash, hit, err := s.result(rs)
+	body, hash, hit, err := s.Result(r.Context(), rs)
 	if err != nil {
 		code := http.StatusBadRequest
 		var ee execError
@@ -287,7 +334,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		rs, err := spec.Decode(bytes.NewReader(raw[i]))
 		if err == nil {
 			var body []byte
-			if body, _, _, err = s.result(rs); err == nil {
+			// One disconnected batch submitter abandons all of its
+			// still-unstarted elements at once: they share its context.
+			if body, _, _, err = s.Result(r.Context(), rs); err == nil {
 				out[i] = body
 				return
 			}

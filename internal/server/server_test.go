@@ -2,7 +2,9 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -10,6 +12,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"oovr/internal/driver"
 	"oovr/internal/multigpu"
@@ -316,5 +319,210 @@ func TestCacheEviction(t *testing.T) {
 	}
 	if st := srv.Stats(); st.Evictions < 1 {
 		t.Errorf("no evictions recorded: %+v", st)
+	}
+}
+
+// TestOrderQueueBounded pins the eviction queue's memory behavior: the
+// FIFO order slice must not grow without bound (or pin evicted hashes) on
+// a long-lived server, however many distinct specs pass through.
+func TestOrderQueueBounded(t *testing.T) {
+	s := New(Options{Workers: 1, CacheEntries: 16})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < 10000; i++ {
+		h := fmt.Sprintf("hash-%d", i)
+		s.cache[h] = &entry{}
+		s.remember(h)
+		if live := len(s.order) - s.head; live > s.opt.CacheEntries {
+			t.Fatalf("insert %d: %d live entries past the bound", i, live)
+		}
+		// The whole backing array — dead prefix included — must stay
+		// O(CacheEntries); 2× the bound plus the compaction floor is the
+		// steady state the implementation promises.
+		if cap(s.order) > 2*(s.opt.CacheEntries+33) {
+			t.Fatalf("insert %d: order cap %d grew unbounded", i, cap(s.order))
+		}
+	}
+	if len(s.cache) != s.opt.CacheEntries {
+		t.Fatalf("cache holds %d entries, want %d", len(s.cache), s.opt.CacheEntries)
+	}
+	if s.stats.Evictions != 10000-int64(s.opt.CacheEntries) {
+		t.Fatalf("evictions: %d", s.stats.Evictions)
+	}
+	// Evicted slots are cleared, not merely skipped: nothing before head
+	// still pins a hash.
+	for i := 0; i < s.head; i++ {
+		if s.order[i] != "" {
+			t.Fatalf("evicted slot %d still pins %q", i, s.order[i])
+		}
+	}
+}
+
+// TestCancelledClientDoesNotTakeSlot pins the /run cancellation check: a
+// submitter whose context is already dead must not acquire a worker-pool
+// slot (and so must never simulate), even while the pool is saturated.
+func TestCancelledClientDoesNotTakeSlot(t *testing.T) {
+	s := New(Options{Workers: 1, CacheEntries: 16})
+	s.sem <- struct{}{} // saturate the pool: a run is (notionally) in flight
+	defer func() { <-s.sem }()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rs := spec.RunSpec{Workload: spec.WorkloadRef{Name: "DM3-640"},
+		Scheduler: spec.SchedulerRef{Name: "baseline"}, Frames: 1}
+	_, _, _, err := s.Result(ctx, rs)
+	if err == nil || !strings.Contains(err.Error(), "abandoned") {
+		t.Fatalf("cancelled submission: %v", err)
+	}
+	if st := s.Stats(); st.Runs != 0 {
+		t.Fatalf("cancelled submission executed: %+v", st)
+	}
+	// The failed entry must not wedge the address: a live resubmission
+	// executes normally once the pool frees up.
+	<-s.sem
+	_, _, hit, err := s.Result(context.Background(), rs)
+	s.sem <- struct{}{}
+	if err != nil || hit {
+		t.Fatalf("resubmission after abandonment: hit=%v err=%v", hit, err)
+	}
+}
+
+// testGate serializes the blocking planner factory across test runs; the
+// registry is process-global so the factory is registered at most once.
+var (
+	testGateMu sync.Mutex
+	testGateCh chan struct{}
+)
+
+// TestFollowersOfFailedRunGetError pins the single-flight failure path:
+// concurrent identical submissions share one in-flight execution, and
+// when it fails every follower receives the error — never a stale or
+// empty body — and the address is left re-runnable.
+func TestFollowersOfFailedRunGetError(t *testing.T) {
+	registered := false
+	for _, n := range spec.PlannerNames() {
+		registered = registered || n == "test-gated-panic"
+	}
+	if !registered {
+		spec.RegisterPlanner("test-gated-panic", func(params json.RawMessage) (driver.Planner, error) {
+			p := struct{ Explode bool }{}
+			if err := spec.DecodeParams(params, &p); err != nil {
+				return nil, err
+			}
+			if p.Explode {
+				testGateMu.Lock()
+				ch := testGateCh
+				testGateMu.Unlock()
+				if ch != nil {
+					<-ch
+				}
+				panic("gated factory exploded")
+			}
+			return spec.NewPlanner("baseline", nil)
+		})
+	}
+	testGateMu.Lock()
+	testGateCh = make(chan struct{})
+	testGateMu.Unlock()
+
+	srv, ts := newTestServer(t)
+	rs := spec.RunSpec{Workload: spec.WorkloadRef{Name: "WE"},
+		Scheduler: spec.SchedulerRef{Name: "test-gated-panic", Params: json.RawMessage(`{"Explode": true}`)},
+		Frames:    1}
+
+	const followers = 6
+	codes := make([]int, followers)
+	bodies := make([][]byte, followers)
+	var wg sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := postSpec(t, ts.URL, rs)
+			codes[i], bodies[i] = resp.StatusCode, body
+		}(i)
+	}
+	// Let every submission reach the single-flight entry, then fail the
+	// one in-flight execution under all of them.
+	time.Sleep(100 * time.Millisecond)
+	testGateMu.Lock()
+	close(testGateCh)
+	testGateCh = nil
+	testGateMu.Unlock()
+	wg.Wait()
+
+	for i := 0; i < followers; i++ {
+		if codes[i] != http.StatusInternalServerError {
+			t.Errorf("submission %d: HTTP %d (%s)", i, codes[i], bodies[i])
+		}
+		if !strings.Contains(string(bodies[i]), "panicked") {
+			t.Errorf("submission %d: body %s is not the in-flight error", i, bodies[i])
+		}
+	}
+	st := srv.Stats()
+	if st.Runs != 0 || st.Errors != followers {
+		t.Errorf("stats after shared failure: %+v", st)
+	}
+	if st.CacheMisses < 1 || st.CacheHits != 0 {
+		t.Errorf("followers of a failure must not count as cache hits: %+v", st)
+	}
+}
+
+// TestBatchPanicPath exercises the panic containment inside the /batch
+// fan-out (run with -race in CI): panicking elements report in place while
+// the rest of the batch completes, across concurrent batch requests.
+func TestBatchPanicPath(t *testing.T) {
+	srv, ts := newTestServer(t)
+	batch := `[
+	  {"workload": {"name": "DM3-640"}, "scheduler": {"name": "baseline"}, "frames": 1},
+	  {"workload": {"name": "WE"}, "scheduler": {"name": "test-panics", "params": {"Panic": true}}, "frames": 1},
+	  {"workload": {"name": "DM3-640"}, "scheduler": {"name": "oovr"}, "frames": 1}
+	]`
+	// The panicking factory is registered by TestPanickingPlannerDoesNotWedge
+	// when it runs first; register here too for isolated -run invocations.
+	registered := false
+	for _, n := range spec.PlannerNames() {
+		registered = registered || n == "test-panics"
+	}
+	if !registered {
+		spec.RegisterPlanner("test-panics", func(params json.RawMessage) (driver.Planner, error) {
+			p := struct{ Panic bool }{}
+			if err := spec.DecodeParams(params, &p); err != nil {
+				return nil, err
+			}
+			if p.Panic {
+				panic("factory exploded")
+			}
+			return spec.NewPlanner("baseline", nil)
+		})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(batch))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			var out []json.RawMessage
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || len(out) != 3 {
+				t.Errorf("batch decode: %v (%d elements)", err, len(out))
+				return
+			}
+			for _, i := range []int{0, 2} {
+				if _, err := spec.DecodeResult(out[i]); err != nil {
+					t.Errorf("element %d: %v (%s)", i, err, out[i])
+				}
+			}
+			if !strings.Contains(string(out[1]), "panicked") {
+				t.Errorf("panicking element reported %s", out[1])
+			}
+		}()
+	}
+	wg.Wait()
+	if st := srv.Stats(); st.Batches != 3 || st.Errors != 3 || st.Runs != 2 {
+		t.Errorf("batch panic stats: %+v", st)
 	}
 }

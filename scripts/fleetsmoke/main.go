@@ -1,0 +1,192 @@
+// Command fleetsmoke rehearses the fleet with real processes: it builds
+// cmd/oovrd, starts a coordinator and two workers as separate OS
+// processes, submits the full oovrfigures job matrix, SIGKILLs one worker
+// mid-sweep, and requires the sweep to finish anyway — every Result
+// re-verified against its content address and byte-identical to executing
+// the same specs in-process. It then SIGTERMs the survivors and checks
+// they drain cleanly. CI runs it as the fleet-chaos smoke; locally:
+//
+//	go run ./scripts/fleetsmoke
+//
+// A non-zero exit means the fleet lost, corrupted, or duplicated work.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"oovr/internal/experiments"
+	"oovr/internal/fleet"
+	"oovr/internal/spec"
+)
+
+func main() {
+	log.SetFlags(log.Ltime | log.Lmsgprefix)
+	log.SetPrefix("fleetsmoke ")
+	bin := flag.String("oovrd", "", "oovrd binary to run (default: go build it into a temp dir)")
+	killAfter := flag.Duration("kill", time.Second, "SIGKILL the second worker this long after submitting")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	if *bin == "" {
+		dir, err := os.MkdirTemp("", "fleetsmoke")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		*bin = filepath.Join(dir, "oovrd")
+		log.Printf("building %s", *bin)
+		build := exec.CommandContext(ctx, "go", "build", "-o", *bin, "./cmd/oovrd")
+		build.Stdout, build.Stderr = os.Stdout, os.Stderr
+		if err := build.Run(); err != nil {
+			log.Fatalf("build oovrd: %v", err)
+		}
+	}
+
+	addr, url := freeAddr()
+	// A short lease so the killed worker's in-flight spec re-queues fast.
+	coord := start(ctx, *bin, "-addr", addr, "-lease", "2s", "-drain", "10s")
+	defer coord.Process.Kill()
+	waitUp(ctx, url+"/stats")
+	log.Printf("coordinator up on %s", url)
+
+	w1 := start(ctx, *bin, "-worker", "-coordinator", url, "-name", "w1", "-workers", "2")
+	defer w1.Process.Kill()
+	w2 := start(ctx, *bin, "-worker", "-coordinator", url, "-name", "w2", "-workers", "2")
+	defer w2.Process.Kill()
+
+	specs := experiments.SpecMatrix(experiments.Options{}, nil)
+	log.Printf("submitting %d specs", len(specs))
+
+	// In-process reference execution runs concurrently with the fleet
+	// sweep; the comparison below needs both anyway.
+	expectedCh := make(chan [][]byte, 1)
+	go func() {
+		expected := make([][]byte, len(specs))
+		for i, rs := range specs {
+			m, err := rs.Run()
+			if err != nil {
+				log.Fatalf("local run %d: %v", i, err)
+			}
+			res, err := spec.NewResult(rs, m)
+			if err != nil {
+				log.Fatalf("local result %d: %v", i, err)
+			}
+			if expected[i], err = res.Encode(); err != nil {
+				log.Fatalf("local encode %d: %v", i, err)
+			}
+		}
+		expectedCh <- expected
+	}()
+
+	client := &fleet.Client{URL: url}
+	sweep, err := client.Submit(ctx, specs)
+	if err != nil {
+		log.Fatalf("submit: %v", err)
+	}
+
+	time.Sleep(*killAfter)
+	log.Printf("SIGKILL worker w2 mid-sweep")
+	if err := w2.Process.Kill(); err != nil {
+		log.Fatalf("kill w2: %v", err)
+	}
+	w2.Wait()
+
+	bodies, err := client.Wait(ctx, sweep)
+	if err != nil {
+		log.Fatalf("sweep: %v", err)
+	}
+	expected := <-expectedCh
+	bad := 0
+	for i, b := range bodies {
+		if _, err := fleet.DecodeVerifiedResult(b); err != nil {
+			log.Printf("spec %d: %v", i, err)
+			bad++
+			continue
+		}
+		if !bytes.Equal(b, expected[i]) {
+			log.Printf("spec %d: fleet body differs from in-process execution", i)
+			bad++
+		}
+	}
+	if bad > 0 {
+		log.Fatalf("%d of %d results wrong", bad, len(bodies))
+	}
+	log.Printf("%d/%d results hash-verified and byte-identical to local execution", len(bodies), len(specs))
+
+	// Graceful drain: the survivors must exit cleanly on SIGTERM.
+	for _, p := range []struct {
+		name string
+		cmd  *exec.Cmd
+	}{{"w1", w1}, {"coordinator", coord}} {
+		p.cmd.Process.Signal(syscall.SIGTERM)
+		if err := waitFor(p.cmd, 15*time.Second); err != nil {
+			log.Fatalf("%s did not drain cleanly: %v", p.name, err)
+		}
+		log.Printf("%s drained cleanly", p.name)
+	}
+	log.Printf("PASS")
+}
+
+func start(ctx context.Context, bin string, args ...string) *exec.Cmd {
+	cmd := exec.CommandContext(ctx, bin, args...)
+	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	if err := cmd.Start(); err != nil {
+		log.Fatalf("start %v: %v", args, err)
+	}
+	return cmd
+}
+
+// freeAddr reserves an ephemeral port and frees it for oovrd to bind —
+// racy in principle, good enough for a smoke run.
+func freeAddr() (addr, url string) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr = l.Addr().String()
+	l.Close()
+	return addr, "http://" + addr
+}
+
+func waitUp(ctx context.Context, url string) {
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	log.Fatalf("coordinator never answered on %s", url)
+}
+
+func waitFor(cmd *exec.Cmd, timeout time.Duration) error {
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(timeout):
+		cmd.Process.Kill()
+		return fmt.Errorf("still running after %v", timeout)
+	}
+}
