@@ -17,8 +17,6 @@
 package core
 
 import (
-	"fmt"
-
 	"oovr/internal/scene"
 )
 
@@ -115,6 +113,11 @@ type Middleware struct {
 	TSLThreshold float64
 	// TriangleCap is the batch triangle limit (default 4096).
 	TriangleCap int
+	// NoCache disables the Grouper's frame-to-frame reuse so every frame
+	// regroups from scratch. The churn property tests use it to pin the
+	// incremental path against the reference computation; it changes cost,
+	// never results.
+	NoCache bool
 }
 
 // NewMiddleware returns a middleware with the paper's constants.
@@ -128,67 +131,11 @@ func NewMiddleware() Middleware {
 // and stop growing when the triangle cap is reached. Objects that depend on
 // a batch member are merged into that batch directly (raising its cap), so
 // the programmer-defined order is preserved.
+// The O(n²) pair scan runs on stamp arrays (see groupFrame) instead of
+// calling TSL directly, which keeps the float arithmetic — operands and
+// accumulation order — identical while dropping the per-pair cost from
+// O(|root|·|candidate|) to O(|candidate|).
 func (m Middleware) GroupFrame(sc *scene.Scene, f *scene.Frame) []Batch {
-	if m.TSLThreshold < 0 || m.TSLThreshold > 1 {
-		panic(fmt.Sprintf("core: TSL threshold %v out of [0,1]", m.TSLThreshold))
-	}
-	if m.TriangleCap <= 0 {
-		panic("core: triangle cap must be positive")
-	}
-	n := len(f.Objects)
-	used := make([]bool, n)
-	// batchOf[i] is the batch index object i was placed in, for dependency
-	// merging.
-	batchOf := make([]int, n)
-	for i := range batchOf {
-		batchOf[i] = -1
-	}
-	var batches []Batch
-
-	place := func(b *Batch, o *scene.Object, idx int) {
-		b.Objects = append(b.Objects, o)
-		b.Triangles += o.Triangles
-		for _, t := range o.Textures {
-			if !contains(b.Textures, t) {
-				b.Textures = append(b.Textures, t)
-			}
-		}
-		used[idx] = true
-		batchOf[idx] = b.ID
-	}
-
-	for head := 0; head < n; head++ {
-		if used[head] {
-			continue
-		}
-		o := &f.Objects[head]
-		// Dependency rule: an object depending on an already-batched object
-		// joins that batch regardless of TSL or cap ("we directly merge
-		// them to the batch and increase the triangle limitation").
-		if o.DependsOn != scene.NoDependency && batchOf[o.DependsOn] >= 0 {
-			b := &batches[batchOf[o.DependsOn]]
-			place(b, o, head)
-			continue
-		}
-		b := Batch{ID: len(batches)}
-		place(&b, o, head)
-		// Scan the remaining queue for shareable objects while under cap.
-		for j := head + 1; j < n && b.Triangles < m.TriangleCap; j++ {
-			if used[j] {
-				continue
-			}
-			cand := &f.Objects[j]
-			if cand.DependsOn != scene.NoDependency {
-				// Dependent objects are never TSL-grouped; the dependency
-				// rule merges them into their predecessor's batch when they
-				// reach the queue head.
-				continue
-			}
-			if TSL(sc, b.Textures, cand.Textures) > m.TSLThreshold {
-				place(&b, cand, j)
-			}
-		}
-		batches = append(batches, b)
-	}
-	return batches
+	var s groupScratch
+	return m.groupFrame(&s, sc, f, nil)
 }

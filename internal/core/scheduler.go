@@ -38,16 +38,23 @@ func (a OOApp) Render(sys *multigpu.System) multigpu.Metrics { return driver.Run
 func (a OOApp) Begin(sys *multigpu.System) (driver.FramePlanner, driver.Profile) {
 	sc := sys.Scene()
 	n := sys.NumGPMs()
+	grouper := NewGrouper(a.Middleware)
+	// Per-run scratch: the submission list and task-part arena are rebuilt
+	// in place every frame, so steady-state planning allocates nothing.
+	var subs []driver.Submission
+	var parts []multigpu.TaskPart
 	return driver.PlanFunc(func(f *scene.Frame, fi int) driver.Plan {
 		plan := driver.Plan{
 			Framebuffer: driver.FBRoot,
 			Root:        a.Root,
 			Compose:     driver.ComposeRoot,
 		}
-		batches := a.Middleware.GroupFrame(sc, f)
+		batches := grouper.GroupFrame(sc, f)
+		subs = subs[:0]
+		parts = parts[:0]
 		for bi := range batches {
 			g := mem.GPMID(bi % n)
-			task := batchTask(&batches[bi], false, false)
+			task := batchTask(&parts, &batches[bi], false, false)
 			// Software-only data placement: the middleware copies exactly
 			// the batch's working set to its round-robin GPM; the mapping
 			// is stable across frames. Without hardware PA units the copy
@@ -55,8 +62,9 @@ func (a OOApp) Begin(sys *multigpu.System) (driver.FramePlanner, driver.Profile)
 			task.ShipTextures = true
 			task.ShipPersistent = true
 			task.ShipExact = true
-			plan.Submissions = append(plan.Submissions, driver.Submission{GPM: g, Task: task})
+			subs = append(subs, driver.Submission{GPM: g, Task: task})
 		}
+		plan.Submissions = subs
 		return plan
 	}), driver.Profile{}
 }
@@ -107,26 +115,39 @@ type EngineStats struct {
 // is deterministic and costs O(NumGPMs) per batch.
 type batchQueues struct {
 	// done holds each GPM's queued predicted completion times, in dispatch
-	// (hence ascending) order.
+	// (hence ascending) order; head[g] is the first still-queued entry.
+	// Retired entries stay in the backing array until the per-frame Reset,
+	// so the queues never reallocate in steady state.
 	done  [][]sim.Time
+	head  []int
 	clock sim.Time
 	stats *EngineStats
 }
 
-func newBatchQueues(n int, stats *EngineStats) *batchQueues {
-	return &batchQueues{done: make([][]sim.Time, n), stats: stats}
+// Reset prepares the queues for a new frame, reusing the backing arrays.
+func (q *batchQueues) Reset(n int, stats *EngineStats) {
+	if len(q.done) != n {
+		q.done = make([][]sim.Time, n)
+		q.head = make([]int, n)
+	}
+	for g := range q.done {
+		q.done[g] = q.done[g][:0]
+		q.head[g] = 0
+	}
+	q.clock = 0
+	q.stats = stats
 }
 
 // Drain retires every queued batch whose predicted completion has passed
 // the dispatch clock and refreshes counters[g].QueuedBatches.
 func (q *batchQueues) Drain(counters []GPMCounters) {
 	for g := range q.done {
-		d := q.done[g]
-		for len(d) > 0 && d[0] <= q.clock {
-			d = d[1:]
+		d, h := q.done[g], q.head[g]
+		for h < len(d) && d[h] <= q.clock {
+			h++
 		}
-		q.done[g] = d
-		counters[g].QueuedBatches = len(d)
+		q.head[g] = h
+		counters[g].QueuedBatches = len(d) - h
 	}
 }
 
@@ -136,11 +157,11 @@ func (q *batchQueues) Stall(counters []GPMCounters) {
 	var min sim.Time
 	first := true
 	for g := range q.done {
-		if len(q.done[g]) == 0 {
+		if q.head[g] >= len(q.done[g]) {
 			continue
 		}
-		if first || q.done[g][0] < min {
-			min = q.done[g][0]
+		if first || q.done[g][q.head[g]] < min {
+			min = q.done[g][q.head[g]]
 			first = false
 		}
 	}
@@ -167,9 +188,10 @@ func anyQueueFull(counters []GPMCounters) bool {
 // Enqueue records a batch assigned to GPM g with predicted completion t.
 func (q *batchQueues) Enqueue(g int, t sim.Time, counters []GPMCounters) {
 	q.done[g] = append(q.done[g], t)
-	counters[g].QueuedBatches = len(q.done[g])
-	if q.stats != nil && len(q.done[g]) > q.stats.MaxQueueDepth {
-		q.stats.MaxQueueDepth = len(q.done[g])
+	depth := len(q.done[g]) - q.head[g]
+	counters[g].QueuedBatches = depth
+	if q.stats != nil && depth > q.stats.MaxQueueDepth {
+		q.stats.MaxQueueDepth = depth
 	}
 }
 
@@ -185,11 +207,11 @@ func (v OOVR) Render(sys *multigpu.System) multigpu.Metrics { return driver.Run(
 // Begin implements driver.Planner.
 func (v OOVR) Begin(sys *multigpu.System) (driver.FramePlanner, driver.Profile) {
 	return &oovrPlanner{
-		cfg:        v,
-		sys:        sys,
-		pred:       &Predictor{},
-		prevAssign: map[int]int{},
-		frame:      -1,
+		cfg:     v,
+		sys:     sys,
+		pred:    &Predictor{},
+		grouper: NewGrouper(v.Middleware),
+		frame:   -1,
 	}, driver.Profile{}
 }
 
@@ -199,23 +221,28 @@ func (v OOVR) Begin(sys *multigpu.System) (driver.FramePlanner, driver.Profile) 
 // fitted, every decision is prediction-driven, so the rest of the frame is
 // planned ahead in one final chunk.
 type oovrPlanner struct {
-	cfg  OOVR
-	sys  *multigpu.System
-	pred *Predictor
-	// prevAssign remembers where each batch ran last frame: the PA units'
-	// pre-allocated data sits in that GPM's DRAM, so the engine prefers it
-	// whenever the predicted availability is close, avoiding needless
-	// re-migration.
-	prevAssign map[int]int
+	cfg     OOVR
+	sys     *multigpu.System
+	pred    *Predictor
+	grouper *Grouper
+	// prevAssign remembers where each batch ran last frame (-1 when it has
+	// not run yet): the PA units' pre-allocated data sits in that GPM's
+	// DRAM, so the engine prefers it whenever the predicted availability is
+	// close, avoiding needless re-migration.
+	prevAssign []int32
 
 	// Per-frame dispatch state. The engine's view of each GPM: predicted
 	// availability driven by Equation (3), not by oracle knowledge of
-	// actual completion times.
+	// actual completion times. counters, queues and the subs/parts arenas
+	// are reused across frames so the steady-state planning path allocates
+	// nothing.
 	frame         int
 	batches       []Batch
 	bi            int
 	counters      []GPMCounters
-	queues        *batchQueues
+	queues        batchQueues
+	subs          []driver.Submission
+	parts         []multigpu.TaskPart
 	meanPredicted float64
 	// calibrating is the batch the last single-batch chunk submitted,
 	// awaiting its measured rendering time.
@@ -236,10 +263,18 @@ func (p *oovrPlanner) PlanFrame(f *scene.Frame, fi int) driver.Plan {
 	n := p.sys.NumGPMs()
 	if fi != p.frame {
 		p.frame = fi
-		p.batches = p.cfg.Middleware.GroupFrame(p.sys.Scene(), f)
+		p.batches = p.grouper.GroupFrame(p.sys.Scene(), f)
 		p.bi = 0
-		p.counters = make([]GPMCounters, n)
-		p.queues = newBatchQueues(n, p.cfg.Stats)
+		if len(p.counters) != n {
+			p.counters = make([]GPMCounters, n)
+		} else {
+			clear(p.counters)
+		}
+		p.queues.Reset(n, p.cfg.Stats)
+		p.parts = p.parts[:0]
+		for len(p.prevAssign) < len(p.batches) {
+			p.prevAssign = append(p.prevAssign, -1)
+		}
 		p.meanPredicted = 0
 		if p.pred.Calibrated() {
 			var tot float64
@@ -251,6 +286,7 @@ func (p *oovrPlanner) PlanFrame(f *scene.Frame, fi int) driver.Plan {
 	}
 
 	plan := p.shell()
+	subs := p.subs[:0]
 	for ; p.bi < len(p.batches); p.bi++ {
 		b := &p.batches[p.bi]
 		// Batches retire from the engine's queues as their predicted
@@ -273,14 +309,14 @@ func (p *oovrPlanner) PlanFrame(f *scene.Frame, fi int) driver.Plan {
 			}
 			frac := 1 / float64(n)
 			for g := 0; g < n; g++ {
-				task := batchTaskFrac(b, frac)
+				task := batchTaskFrac(&p.parts, b, frac)
 				// The PA units duplicate the batch's working set into each
 				// idle GPM's DRAM (Section 5.2); the copies persist.
 				task.ShipTextures = true
 				task.ShipPersistent = true
 				task.ShipExact = true
 				task.Prefetch = true
-				plan.Submissions = append(plan.Submissions, driver.Submission{GPM: mem.GPMID(g), Task: task})
+				subs = append(subs, driver.Submission{GPM: mem.GPMID(g), Task: task})
 				p.counters[g].PredictedFree += sim.Time(p.pred.PredictTotal(float64(b.Triangles)) * frac)
 				p.queues.Enqueue(g, p.counters[g].PredictedFree, p.counters)
 			}
@@ -292,15 +328,17 @@ func (p *oovrPlanner) PlanFrame(f *scene.Frame, fi int) driver.Plan {
 			// per chunk: the measured time arrives via TaskDone before the
 			// next batch is planned.
 			g := p.bi % n
-			p.prevAssign[p.bi] = g
-			task := batchTask(b, false, false)
+			p.prevAssign[p.bi] = int32(g)
+			task := batchTask(&p.parts, b, false, false)
 			// PA units copy the batch's exact working set ahead of time.
 			task.ShipTextures = true
 			task.ShipPersistent = true
 			task.ShipExact = true
 			p.calibrating = b
 			p.bi++
-			plan.Submissions = append(plan.Submissions, driver.Submission{GPM: mem.GPMID(g), Task: task})
+			subs = append(subs, driver.Submission{GPM: mem.GPMID(g), Task: task})
+			p.subs = subs
+			plan.Submissions = subs
 			plan.More = true
 			return plan
 		}
@@ -328,7 +366,7 @@ func (p *oovrPlanner) PlanFrame(f *scene.Frame, fi int) driver.Plan {
 			}
 			// Data affinity: stick with last frame's GPM when it is
 			// predicted to be nearly as early.
-			if pg, ok := p.prevAssign[p.bi]; ok && pg < n {
+			if pg := int(p.prevAssign[p.bi]); pg >= 0 && pg < n {
 				if p.counters[pg].QueuedBatches >= MaxBatchQueue {
 					if p.cfg.Stats != nil {
 						p.cfg.Stats.AffinityBlocked++
@@ -341,16 +379,18 @@ func (p *oovrPlanner) PlanFrame(f *scene.Frame, fi int) driver.Plan {
 				}
 			}
 		}
-		p.prevAssign[p.bi] = g
-		task := batchTask(b, false, true)
+		p.prevAssign[p.bi] = int32(g)
+		task := batchTask(&p.parts, b, false, true)
 		// PA units copy the batch's exact working set ahead of time.
 		task.ShipTextures = true
 		task.ShipPersistent = true
 		task.ShipExact = true
-		plan.Submissions = append(plan.Submissions, driver.Submission{GPM: mem.GPMID(g), Task: task})
+		subs = append(subs, driver.Submission{GPM: mem.GPMID(g), Task: task})
 		p.counters[g].PredictedFree += sim.Time(p.pred.PredictTotal(float64(b.Triangles)))
 		p.queues.Enqueue(g, p.counters[g].PredictedFree, p.counters)
 	}
+	p.subs = subs
+	plan.Submissions = subs
 
 	if p.cfg.DisableDHC {
 		plan.Compose = driver.ComposeRoot
@@ -385,30 +425,39 @@ func (p *oovrPlanner) TaskDone(fi int, sub *driver.Submission, start, end sim.Ti
 	)
 }
 
-// batchTask builds the multi-view SMP task for a whole batch. migrate turns
-// on PA-unit pre-allocation; prefetch overlaps it with the previous batch
-// (only available once the engine is calibrated and assigning ahead).
-func batchTask(b *Batch, migrate, prefetch bool) multigpu.Task {
-	t := multigpu.Task{
+// batchTask builds the multi-view SMP task for a whole batch, carving its
+// part list from the caller's arena. migrate turns on PA-unit
+// pre-allocation; prefetch overlaps it with the previous batch (only
+// available once the engine is calibrated and assigning ahead).
+func batchTask(arena *[]multigpu.TaskPart, b *Batch, migrate, prefetch bool) multigpu.Task {
+	return multigpu.Task{
 		Color:       multigpu.ColorLocalStage,
 		MigrateData: migrate,
 		Prefetch:    prefetch,
+		Parts:       appendParts(arena, b, 1),
 	}
-	for _, o := range b.Objects {
-		t.Parts = append(t.Parts, multigpu.TaskPart{
-			Object: o, Mode: pipeline.ModeBothSMP, GeomFrac: 1, FragFrac: 1,
-		})
-	}
-	return t
 }
 
 // batchTaskFrac builds one GPM's share of a fine-grained split batch.
-func batchTaskFrac(b *Batch, frac float64) multigpu.Task {
-	t := multigpu.Task{Color: multigpu.ColorLocalStage}
+func batchTaskFrac(arena *[]multigpu.TaskPart, b *Batch, frac float64) multigpu.Task {
+	return multigpu.Task{
+		Color: multigpu.ColorLocalStage,
+		Parts: appendParts(arena, b, frac),
+	}
+}
+
+// appendParts carves a batch's part list out of a per-run arena the caller
+// resets once per frame, so steady-state planning builds tasks without
+// allocating. The full-slice expression caps the result: later arena
+// appends can never alias an already-issued task's parts.
+func appendParts(arena *[]multigpu.TaskPart, b *Batch, frac float64) []multigpu.TaskPart {
+	a := *arena
+	start := len(a)
 	for _, o := range b.Objects {
-		t.Parts = append(t.Parts, multigpu.TaskPart{
+		a = append(a, multigpu.TaskPart{
 			Object: o, Mode: pipeline.ModeBothSMP, GeomFrac: frac, FragFrac: frac,
 		})
 	}
-	return t
+	*arena = a
+	return a[start:len(a):len(a)]
 }

@@ -200,7 +200,8 @@ func TestBatchTaskShapes(t *testing.T) {
 	sc := sp.Generate(640, 480, 1, 1)
 	batches := NewMiddleware().GroupFrame(sc, &sc.Frames[0])
 	b := &batches[0]
-	task := batchTask(b, false, true)
+	var arena []multigpu.TaskPart
+	task := batchTask(&arena, b, false, true)
 	if len(task.Parts) != len(b.Objects) {
 		t.Errorf("batchTask parts = %d, want %d", len(task.Parts), len(b.Objects))
 	}
@@ -209,7 +210,7 @@ func TestBatchTaskShapes(t *testing.T) {
 			t.Errorf("whole-batch part has fractions %v/%v", p.GeomFrac, p.FragFrac)
 		}
 	}
-	frac := batchTaskFrac(b, 0.25)
+	frac := batchTaskFrac(&arena, b, 0.25)
 	for _, p := range frac.Parts {
 		if p.GeomFrac != 0.25 || p.FragFrac != 0.25 {
 			t.Errorf("split part has fractions %v/%v, want 0.25", p.GeomFrac, p.FragFrac)

@@ -349,6 +349,7 @@ func (s *Session) Close() multigpu.Metrics {
 func Run(sys *multigpu.System, p Planner) multigpu.Metrics {
 	ses := Open(sys, p)
 	sc := sys.Scene()
+	sys.ReserveFrames(len(sc.Frames))
 	for fi := range sc.Frames {
 		ses.SubmitFrame(&sc.Frames[fi])
 	}

@@ -40,9 +40,20 @@ type Fabric struct {
 	// src->dst when the topology has one (fullmesh, and neighbour pairs of
 	// ring/chain/mesh2d), nil otherwise.
 	direct [][]*sim.Resource
+	// hops[requester][src] is the src->requester route resolved to link
+	// resources — the reservation hot path walks it instead of re-resolving
+	// route IDs through the graph on every flow.
+	hops [][][]hop
 	// traffic, when attached, receives per-physical-link (hop-level) byte
 	// accounting for every reservation.
 	traffic *mem.Traffic
+}
+
+// hop is one physical link of a resolved route: the bandwidth server plus
+// the topo link ID the hop-level traffic accounting is keyed on.
+type hop struct {
+	res *sim.Resource
+	lid int32
 }
 
 // NewFabric builds the paper's full-mesh fabric of n GPMs with the given
@@ -71,6 +82,18 @@ func New(g *topo.Graph, clockGHz float64) *Fabric {
 		f.res = append(f.res, r)
 		if l.From < n && l.To < n {
 			f.direct[l.From][l.To] = r
+		}
+	}
+	f.hops = make([][][]hop, n)
+	for dst := 0; dst < n; dst++ {
+		f.hops[dst] = make([][]hop, n)
+		for src := 0; src < n; src++ {
+			route := g.Route(src, dst)
+			hs := make([]hop, len(route))
+			for i, lid := range route {
+				hs[i] = hop{res: f.res[lid], lid: int32(lid)}
+			}
+			f.hops[dst][src] = hs
 		}
 	}
 	return f
@@ -113,15 +136,17 @@ func (f *Fabric) AccountHops(t *mem.Traffic) {
 // are no links and the result is always at.
 func (f *Fabric) ReserveFlow(at sim.Time, flow mem.Flow) sim.Time {
 	end := at
+	bySrc := f.hops[flow.Requester]
+	tr := f.traffic
 	for src, bytes := range flow.RemoteBySrc {
 		if bytes == 0 || mem.GPMID(src) == flow.Requester {
 			continue
 		}
 		t := at
-		for _, lid := range f.g.Route(src, int(flow.Requester)) {
-			t = f.res[lid].Reserve(t, bytes)
-			if f.traffic != nil {
-				f.traffic.RecordHop(lid, bytes)
+		for _, h := range bySrc[src] {
+			t = h.res.Reserve(t, bytes)
+			if tr != nil {
+				tr.RecordHop(int(h.lid), bytes)
 			}
 		}
 		if t > end {

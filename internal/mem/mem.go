@@ -133,6 +133,41 @@ type Segment struct {
 	// hist caches how many bytes are homed per GPM; index numGPMs holds
 	// unplaced bytes. It is kept in sync by every placement operation.
 	hist []int64
+	// placeEpoch counts placement changes: every operation that rehomes at
+	// least one page bumps it (swapLayout, rehomeExplicit). Flow-decomposition
+	// cache slots are keyed on it, so a placement change invalidates every
+	// cached flow of the segment in O(1) while untouched segments keep their
+	// caches across frames. Starts at 1 so slot epoch 0 means "never filled".
+	placeEpoch uint64
+	// flows holds the per-(requester, op-class) flow-decomposition cache,
+	// numFlowOps slots per GPM, created on the segment's first access.
+	flows []flowSlot
+}
+
+// Flow-cache op classes. Cold and warm reads get separate slots: within a
+// frame the first read is cold and the rest are warm, so a single slot
+// would thrash on exactly the steady-state pattern the cache exists for.
+const (
+	opReadCold = iota
+	opReadWarm
+	opWrite
+	opProp
+	opStream
+	opDup
+	numFlowOps
+)
+
+// flowSlot caches one access's flow decomposition. A slot is valid when its
+// epoch matches the segment's current placeEpoch and its key fields match
+// the access; it is filled only by accesses that did not move any page, so
+// a hit replays a pure function of the (unchanged) placement state.
+type flowSlot struct {
+	epoch  uint64 // segment placeEpoch at fill time; 0 = empty
+	offset int64
+	n      int64
+	prop   float64
+	local  float64
+	remote []float64
 }
 
 // Pages returns the number of pages in the segment.
@@ -186,6 +221,13 @@ func DefaultConfig(numGPMs int) Config {
 
 // Flow describes where the bytes of one access went. RemoteBySrc[g] is the
 // number of bytes that crossed the link from GPM g's DRAM to the requester.
+//
+// Unless the flow cache is disabled (SetFlowCache), RemoteBySrc aliases
+// the segment's per-(requester, op-class) cache storage: it is valid until
+// the same requester performs the same class of access on the same segment
+// again, and must never be written. Every production consumer (fabric
+// reservation, traffic accounting) reads the flow immediately; callers
+// that need to hold one across accesses must copy it.
 type Flow struct {
 	Requester   GPMID
 	LocalBytes  float64
@@ -213,6 +255,13 @@ type System struct {
 	epoch   uint64
 	traffic *Traffic
 	dramUse []int64 // bytes homed per GPM (capacity accounting)
+	// flowCacheOff disables the flow-decomposition cache (SetFlowCache):
+	// every access recomputes into a freshly allocated Flow, the
+	// pre-incremental behaviour the churn property tests compare against.
+	flowCacheOff bool
+	// zeroRemote backs the RemoteBySrc of empty flows (n == 0 accesses);
+	// it is shared and must never be written.
+	zeroRemote []float64
 }
 
 // NewSystem creates a memory system for the given configuration.
@@ -227,13 +276,21 @@ func NewSystem(cfg Config) *System {
 		panic("mem: RemoteCacheHitRate must be in [0,1]")
 	}
 	return &System{
-		cfg:     cfg,
-		touched: make([][]uint64, cfg.NumGPMs),
-		epoch:   1,
-		traffic: NewTraffic(cfg.NumGPMs),
-		dramUse: make([]int64, cfg.NumGPMs),
+		cfg:        cfg,
+		touched:    make([][]uint64, cfg.NumGPMs),
+		epoch:      1,
+		traffic:    NewTraffic(cfg.NumGPMs),
+		dramUse:    make([]int64, cfg.NumGPMs),
+		zeroRemote: make([]float64, cfg.NumGPMs),
 	}
 }
+
+// SetFlowCache enables or disables the per-segment flow-decomposition
+// cache. The cache changes cost, never results — disabling it exists so
+// the churn property tests can pin the incremental path against the
+// from-scratch computation. Flows returned while the cache is on alias the
+// segment's cache storage (see Flow).
+func (s *System) SetFlowCache(on bool) { s.flowCacheOff = !on }
 
 // Config returns the system configuration.
 func (s *System) Config() Config { return s.cfg }
@@ -258,6 +315,7 @@ func (s *System) Alloc(kind SegmentKind, name string, size int64) SegmentID {
 	s.segments = append(s.segments, &Segment{
 		ID: id, Kind: kind, Name: name, Size: size,
 		nPages: nPages, layout: LayoutUniform, home: Unplaced, hist: hist,
+		placeEpoch: 1,
 	})
 	for g := range s.touched {
 		s.touched[g] = append(s.touched[g], 0)
@@ -333,7 +391,14 @@ func (s *System) setUniform(seg *Segment, gpm GPMID) {
 
 // swapLayout installs a new layout whose full home histogram is hist,
 // updating the per-GPM DRAM capacity accounting by the histogram delta.
+// Re-installing the placement a segment already has is a no-op (the
+// histogram of an analytic layout is a pure function of layout and home),
+// so per-frame re-placement of a stable surface does not invalidate its
+// flow cache.
 func (s *System) swapLayout(seg *Segment, layout Layout, home GPMID, hist []int64) {
+	if layout == seg.layout && home == seg.home && layout != LayoutExplicit {
+		return
+	}
 	for g := 0; g < s.cfg.NumGPMs; g++ {
 		s.dramUse[g] += hist[g] - seg.hist[g]
 	}
@@ -341,6 +406,7 @@ func (s *System) swapLayout(seg *Segment, layout Layout, home GPMID, hist []int6
 	seg.layout = layout
 	seg.home = home
 	seg.pages = nil
+	seg.placeEpoch++
 }
 
 // stripedFullHist writes the whole-segment home histogram of the striped
@@ -447,6 +513,7 @@ func (s *System) rehomeExplicit(seg *Segment, page int, gpm GPMID) {
 	seg.hist[gpm] += size
 	s.dramUse[gpm] += size
 	seg.pages[page] = gpm
+	seg.placeEpoch++
 }
 
 // explicitRangeHist accumulates into hist the per-GPM byte counts of the
@@ -526,17 +593,92 @@ func (s *System) WriteAll(gpm GPMID, id SegmentID) Flow {
 	return s.Write(gpm, id, 0, s.Segment(id).Size)
 }
 
+// slot returns the flow-cache slot for (segment, requester, op), or nil
+// when the cache is disabled. The segment's slot array is created on first
+// use.
+func (s *System) slot(seg *Segment, gpm GPMID, op int) *flowSlot {
+	if s.flowCacheOff {
+		return nil
+	}
+	if seg.flows == nil {
+		seg.flows = make([]flowSlot, numFlowOps*s.cfg.NumGPMs)
+	}
+	return &seg.flows[int(gpm)*numFlowOps+op]
+}
+
+// remoteTarget returns the slice an access should decompose its remote
+// bytes into: the slot's reusable storage (zeroed) on the cached path, a
+// fresh allocation otherwise.
+func (s *System) remoteTarget(sl *flowSlot) []float64 {
+	if sl == nil {
+		return make([]float64, s.cfg.NumGPMs)
+	}
+	if sl.remote == nil {
+		sl.remote = make([]float64, s.cfg.NumGPMs)
+	} else {
+		clear(sl.remote)
+	}
+	return sl.remote
+}
+
+// emptyRemote returns the RemoteBySrc for a zero-byte flow: the shared
+// all-zero slice on the cached path (callers never write flows), a fresh
+// allocation otherwise.
+func (s *System) emptyRemote() []float64 {
+	if s.flowCacheOff {
+		return make([]float64, s.cfg.NumGPMs)
+	}
+	return s.zeroRemote
+}
+
+// fill records a computed access in its slot — unless the computation
+// rehomed a page (preEpoch moved on), in which case the result reflects
+// the pre-mutation placement and must not be replayed.
+func (sl *flowSlot) fill(seg *Segment, preEpoch uint64, offset, n int64, prop, local float64) {
+	if sl == nil {
+		return
+	}
+	if seg.placeEpoch != preEpoch {
+		sl.epoch = 0
+		return
+	}
+	sl.epoch = preEpoch
+	sl.offset = offset
+	sl.n = n
+	sl.prop = prop
+	sl.local = local
+}
+
 func (s *System) access(gpm GPMID, id SegmentID, offset, n int64, isRead bool) Flow {
 	s.checkGPM(gpm)
 	seg := s.Segment(id)
 	if offset < 0 || n < 0 || offset+n > seg.Size {
 		panic(fmt.Sprintf("mem: access [%d,%d) outside segment %q of size %d", offset, offset+n, seg.Name, seg.Size))
 	}
-	flow := Flow{Requester: gpm, RemoteBySrc: make([]float64, s.cfg.NumGPMs), Kind: seg.Kind}
 	if n == 0 {
-		return flow
+		return Flow{Requester: gpm, RemoteBySrc: s.emptyRemote(), Kind: seg.Kind}
 	}
 	warm := s.Touched(gpm, id)
+	op := opWrite
+	if isRead {
+		if warm {
+			op = opReadWarm
+		} else {
+			op = opReadCold
+		}
+	}
+	sl := s.slot(seg, gpm, op)
+	if sl != nil && sl.epoch != 0 && sl.epoch == seg.placeEpoch && sl.offset == offset && sl.n == n {
+		flow := Flow{Requester: gpm, LocalBytes: sl.local, RemoteBySrc: sl.remote, Kind: seg.Kind}
+		if isRead {
+			s.touched[gpm][id] = s.epoch
+		}
+		s.traffic.Record(flow)
+		return flow
+	}
+
+	preEpoch := seg.placeEpoch
+	flow := Flow{Requester: gpm, RemoteBySrc: s.remoteTarget(sl), Kind: seg.Kind}
 
 	// Split the range's bytes by home GPM — closed form for the analytic
 	// layouts, page iteration only in the explicit fallback.
@@ -586,6 +728,7 @@ func (s *System) access(gpm GPMID, id SegmentID, offset, n int64, isRead bool) F
 		s.touched[gpm][id] = s.epoch
 	}
 	s.traffic.Record(flow)
+	sl.fill(seg, preEpoch, offset, n, 0, flow.LocalBytes)
 	return flow
 }
 
@@ -603,11 +746,19 @@ func (s *System) ReadProportional(gpm GPMID, id SegmentID, bytes float64) Flow {
 		panic(fmt.Sprintf("mem: negative proportional read %v", bytes))
 	}
 	seg := s.Segment(id)
-	flow := Flow{Requester: gpm, RemoteBySrc: make([]float64, s.cfg.NumGPMs), Kind: seg.Kind}
 	if bytes == 0 || seg.Size == 0 {
+		flow := Flow{Requester: gpm, RemoteBySrc: s.emptyRemote(), Kind: seg.Kind}
 		s.traffic.Record(flow)
 		return flow
 	}
+	sl := s.slot(seg, gpm, opProp)
+	if sl != nil && sl.epoch != 0 && sl.epoch == seg.placeEpoch && sl.prop == bytes {
+		flow := Flow{Requester: gpm, LocalBytes: sl.local, RemoteBySrc: sl.remote, Kind: seg.Kind}
+		s.traffic.Record(flow)
+		return flow
+	}
+	preEpoch := seg.placeEpoch
+	flow := Flow{Requester: gpm, RemoteBySrc: s.remoteTarget(sl), Kind: seg.Kind}
 	// Place any unplaced pages on the requester first (FT), then split the
 	// volume by the cached home byte shares.
 	s.firstTouchAll(seg, gpm)
@@ -624,6 +775,7 @@ func (s *System) ReadProportional(gpm GPMID, id SegmentID, bytes float64) Flow {
 		}
 	}
 	s.traffic.Record(flow)
+	sl.fill(seg, preEpoch, 0, 0, bytes, flow.LocalBytes)
 	return flow
 }
 
@@ -651,7 +803,14 @@ func (s *System) firstTouchAll(seg *Segment, gpm GPMID) {
 func (s *System) Stream(gpm GPMID, id SegmentID) Flow {
 	s.checkGPM(gpm)
 	seg := s.Segment(id)
-	flow := Flow{Requester: gpm, RemoteBySrc: make([]float64, s.cfg.NumGPMs), Kind: seg.Kind}
+	sl := s.slot(seg, gpm, opStream)
+	if sl != nil && sl.epoch != 0 && sl.epoch == seg.placeEpoch {
+		flow := Flow{Requester: gpm, LocalBytes: sl.local, RemoteBySrc: sl.remote, Kind: seg.Kind}
+		s.traffic.Record(flow)
+		return flow
+	}
+	preEpoch := seg.placeEpoch
+	flow := Flow{Requester: gpm, RemoteBySrc: s.remoteTarget(sl), Kind: seg.Kind}
 	s.firstTouchAll(seg, gpm)
 	for h := 0; h < s.cfg.NumGPMs; h++ {
 		bytes := float64(seg.hist[h])
@@ -665,6 +824,7 @@ func (s *System) Stream(gpm GPMID, id SegmentID) Flow {
 		}
 	}
 	s.traffic.Record(flow)
+	sl.fill(seg, preEpoch, 0, 0, 0, flow.LocalBytes)
 	return flow
 }
 
@@ -675,7 +835,17 @@ func (s *System) Stream(gpm GPMID, id SegmentID) Flow {
 func (s *System) Duplicate(id SegmentID, dst GPMID) Flow {
 	s.checkGPM(dst)
 	seg := s.Segment(id)
-	flow := Flow{Requester: dst, RemoteBySrc: make([]float64, s.cfg.NumGPMs), Kind: seg.Kind}
+	sl := s.slot(seg, dst, opDup)
+	if sl != nil && sl.epoch != 0 && sl.epoch == seg.placeEpoch {
+		// Only a duplicate that found the segment already uniform on dst
+		// fills the slot, so a hit is the all-local re-duplication case.
+		flow := Flow{Requester: dst, LocalBytes: sl.local, RemoteBySrc: sl.remote, Kind: seg.Kind}
+		s.touched[dst][id] = s.epoch
+		s.traffic.Record(flow)
+		return flow
+	}
+	preEpoch := seg.placeEpoch
+	flow := Flow{Requester: dst, RemoteBySrc: s.remoteTarget(sl), Kind: seg.Kind}
 	flow.LocalBytes = float64(seg.hist[dst] + seg.hist[s.cfg.NumGPMs])
 	for h := 0; h < s.cfg.NumGPMs; h++ {
 		if GPMID(h) != dst && seg.hist[h] != 0 {
@@ -685,6 +855,7 @@ func (s *System) Duplicate(id SegmentID, dst GPMID) Flow {
 	s.setUniform(seg, dst)
 	s.touched[dst][id] = s.epoch
 	s.traffic.Record(flow)
+	sl.fill(seg, preEpoch, 0, 0, 0, flow.LocalBytes)
 	return flow
 }
 

@@ -63,7 +63,8 @@ func (s *System) ComposeDistributed() sim.Time {
 	end := s.maxNextFree()
 	n := float64(s.nGPM)
 	fsize := s.Mem.Segment(s.fbSeg).Size
-	ropPixels := make([]float64, s.nGPM)
+	ropPixels := s.ropScratch
+	clear(ropPixels)
 	for g := 0; g < s.nGPM; g++ {
 		px := s.gpms[g].StagedPixels
 		s.gpms[g].StagedPixels = 0
@@ -110,11 +111,10 @@ func (s *System) DiscardStagedPixels() {
 // per-frame shipping sets and cools all caches (a frame's streaming working
 // set does not survive into the next frame). It returns the frame start
 // time (the point when every GPM is available; frames render back-to-back).
+// The per-frame transfer state is epoch-stamped, so the reset is one
+// counter bump — no allocation, no clearing pass.
 func (s *System) BeginFrame() sim.Time {
-	for g := range s.shipped {
-		s.shipped[g] = make(map[mem.SegmentID]bool)
-	}
-	s.claimed = make(map[mem.SegmentID]mem.GPMID)
+	s.frameEpoch++
 	s.Mem.ResetWarmth()
 	s.frameStart = s.maxNextFree()
 	return s.frameStart
@@ -125,6 +125,16 @@ func (s *System) EndFrame() sim.Time {
 	end := s.maxNextFree()
 	s.frameLatency = append(s.frameLatency, end-s.frameStart)
 	return end
+}
+
+// ReserveFrames pre-allocates latency storage for n more frames, so a
+// frame loop that knows its stream length appends without growing.
+func (s *System) ReserveFrames(n int) {
+	if free := cap(s.frameLatency) - len(s.frameLatency); free < n {
+		nl := make([]sim.Time, len(s.frameLatency), len(s.frameLatency)+n)
+		copy(nl, s.frameLatency)
+		s.frameLatency = nl
+	}
 }
 
 // RecordFrameLatency stores an explicitly computed latency (AFR frames
@@ -267,14 +277,18 @@ func (s *System) Collect(scheme string) Metrics {
 		RemoteCommandBytes:     tr.RemoteByKind(mem.KindCommand),
 		RemoteVertexBytes:      tr.RemoteByKind(mem.KindVertex),
 	}
+	m.FrameLatencies = make([]float64, 0, len(s.frameLatency))
 	for _, l := range s.frameLatency {
 		m.FrameLatencies = append(m.FrameLatencies, float64(l))
 	}
+	m.GPMBusyCycles = make([]float64, 0, len(s.gpms))
 	for g := range s.gpms {
 		m.GPMBusyCycles = append(m.GPMBusyCycles, float64(s.gpms[g].Busy))
 	}
 	if s.Fabric != nil {
-		for _, l := range s.Fabric.Topology().Links() {
+		links := s.Fabric.Topology().Links()
+		m.Links = make([]LinkMetrics, 0, len(links))
+		for _, l := range links {
 			r := s.Fabric.Resource(l.ID)
 			m.Links = append(m.Links, LinkMetrics{
 				Name:           l.Name,

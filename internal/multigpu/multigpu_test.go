@@ -189,6 +189,36 @@ func TestEnsureLocalCopiesIdempotent(t *testing.T) {
 	}
 }
 
+// TestSteadyStateFrameDoesNotAllocate pins the frame loop's heap traffic:
+// once warm-up frames have built the shipping residency, filled the memory
+// system's flow caches and grown the epoch-stamped scratch, every further
+// BeginFrame → ship/render → compose → EndFrame cycle must reuse all of it.
+// A regression here shows up long before the benchmark gate does.
+func TestSteadyStateFrameDoesNotAllocate(t *testing.T) {
+	s := newSystem(t)
+	s.PartitionFramebuffer()
+	f := &s.Scene().Frames[0]
+	frame := func() {
+		s.BeginFrame()
+		for g := 0; g < 4; g++ {
+			task := wholeObjectTask(&f.Objects[g], pipeline.ModeBothSMP)
+			task.ShipTextures = true
+			task.ShipPersistent = true
+			task.Color = ColorLocalStage
+			task.DepthLocal = true
+			s.Run(mem.GPMID(g), task)
+		}
+		s.ComposeDistributed()
+		s.EndFrame()
+	}
+	frame() // cold: allocates resident copies and scratch capacity
+	frame() // warm residency, warm flow caches
+	s.ReserveFrames(256)
+	if avg := testing.AllocsPerRun(100, frame); avg != 0 {
+		t.Errorf("steady-state frame allocated %.2f times per frame, want 0", avg)
+	}
+}
+
 func TestColorStripedProducesRemoteFBTraffic(t *testing.T) {
 	s := newSystem(t)
 	o := &s.Scene().Frames[0].Objects[0]

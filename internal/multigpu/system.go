@@ -11,7 +11,7 @@ package multigpu
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"oovr/internal/gpu"
 	"oovr/internal/link"
@@ -161,20 +161,63 @@ type System struct {
 	texCopy [][]mem.SegmentID // [gpm][texture]
 	vbCopy  [][]mem.SegmentID // [gpm][object]
 
-	// shipped tracks which segments have been transferred to each GPM in the
-	// current frame (sort-first frameworks re-distribute per frame).
-	shipped []map[mem.SegmentID]bool
-	// claimed maps a segment to the GPM whose PA unit migrated it this
-	// frame; a shared texture migrates at most once per frame so that
-	// batches on other GPMs do not ping-pong it (they demand-fetch).
-	claimed map[mem.SegmentID]mem.GPMID
-	// resident maps an original segment to the GPM's local shipped copy;
-	// copies persist across frames (capacity stays allocated) and, for
-	// persistent shipping, so does their content.
-	resident []map[mem.SegmentID]mem.SegmentID
+	// Per-frame transfer state lives in epoch-stamped slices indexed by
+	// segment id: BeginFrame resets all of it by bumping frameEpoch, so the
+	// steady-state frame loop allocates nothing.
+	//
+	// shipStamp[g][seg] == frameEpoch when seg has been transferred to GPM g
+	// in the current frame (sort-first frameworks re-distribute per frame).
+	shipStamp [][]uint64
+	// claimStamp[seg] == frameEpoch when a PA unit migrated seg this frame;
+	// claimOwner[seg] is the GPM whose batch claimed it. A shared texture
+	// migrates at most once per frame so that batches on other GPMs do not
+	// ping-pong it (they demand-fetch).
+	claimStamp []uint64
+	claimOwner []mem.GPMID
+	frameEpoch uint64
+	// resident[g][orig] is the GPM's local shipped copy of orig (noSegment
+	// when none); copies persist across frames (capacity stays allocated)
+	// and, for persistent shipping, so does their content.
+	resident [][]mem.SegmentID
+
+	// Ship's working state: per-segment working-set budgets stamped by
+	// shipSerial plus the touched-id list, reused across tasks.
+	shipBudget []float64
+	shipMark   []uint64
+	shipSerial uint64
+	shipIDs    []mem.SegmentID
+	// ropScratch is ComposeDistributed's per-owner pixel accumulator.
+	ropScratch []float64
 
 	frameLatency []sim.Time
 	frameStart   sim.Time
+}
+
+// noSegment marks an empty resident slot.
+const noSegment = mem.SegmentID(-1)
+
+// padTo grows sl to n entries, filling new slots with pad. Segment-indexed
+// state grows lazily because shipping appends new segments mid-run.
+func padTo[T any](sl []T, n int, pad T) []T {
+	for len(sl) < n {
+		sl = append(sl, pad)
+	}
+	return sl
+}
+
+// shippedThisFrame reports whether seg was already transferred to GPM gi in
+// the current frame.
+func (s *System) shippedThisFrame(gi int, seg mem.SegmentID) bool {
+	st := s.shipStamp[gi]
+	return int(seg) < len(st) && st[seg] == s.frameEpoch
+}
+
+// markShipped records seg as transferred to GPM gi this frame.
+func (s *System) markShipped(gi int, seg mem.SegmentID) {
+	if int(seg) >= len(s.shipStamp[gi]) {
+		s.shipStamp[gi] = padTo(s.shipStamp[gi], s.Mem.NumSegments(), 0)
+	}
+	s.shipStamp[gi][seg] = s.frameEpoch
 }
 
 // New binds a system to a scene. The framebuffer and depth surfaces are
@@ -199,13 +242,14 @@ func New(opt Options, sc *scene.Scene) *System {
 			PageSize:           opt.PageSize,
 			RemoteCacheHitRate: opt.RemoteCacheHitRate,
 		}),
-		gpms:     make([]GPMState, n),
-		sc:       sc,
-		shipped:  make([]map[mem.SegmentID]bool, n),
-		claimed:  make(map[mem.SegmentID]mem.GPMID),
-		resident: make([]map[mem.SegmentID]mem.SegmentID, n),
-		texCopy:  make([][]mem.SegmentID, n),
-		vbCopy:   make([][]mem.SegmentID, n),
+		gpms:       make([]GPMState, n),
+		sc:         sc,
+		shipStamp:  make([][]uint64, n),
+		frameEpoch: 1,
+		resident:   make([][]mem.SegmentID, n),
+		texCopy:    make([][]mem.SegmentID, n),
+		vbCopy:     make([][]mem.SegmentID, n),
+		ropScratch: make([]float64, n),
 	}
 	if n > 1 {
 		// The interconnect is built from the configured topology (fullmesh
@@ -222,8 +266,6 @@ func New(opt Options, sc *scene.Scene) *System {
 	for g := 0; g < n; g++ {
 		s.dram = append(s.dram, sim.NewResource(fmt.Sprintf("dram%d", g), dramRate))
 		s.rop = append(s.rop, sim.NewResource(fmt.Sprintf("rop%d", g), s.rates.PixelsPerCycle))
-		s.shipped[g] = make(map[mem.SegmentID]bool)
-		s.resident[g] = make(map[mem.SegmentID]mem.SegmentID)
 	}
 
 	// Shared allocations. Texture contents and vertex buffers are
@@ -378,9 +420,11 @@ type TaskContext struct {
 	gpm   mem.GPMID
 	task  Task
 	start sim.Time
-	// shipMap maps an original segment to the GPM-local copy Ship created;
-	// nil when the ship phase did not run (the hot path allocates nothing).
-	shipMap map[mem.SegmentID]mem.SegmentID
+	// shipped records that the Ship phase ran: Execute then reads every
+	// referenced segment through the GPM's resident copy table (Ship budgets
+	// exactly the segments Execute touches, so a resident entry is
+	// guaranteed to exist).
+	shipped bool
 	done    bool
 }
 
@@ -405,8 +449,25 @@ func (c *TaskContext) Ship() {
 	// The framework ships each object's texture *working set* — what
 	// the object's fragments will sample, bounded by the texture size —
 	// plus its vertex buffer. Two parts sharing a texture ship the
-	// larger working set once.
-	budget := map[mem.SegmentID]float64{}
+	// larger working set once. Budgets live in a serial-stamped scratch
+	// table on the System so the per-task path allocates nothing.
+	s.shipSerial++
+	serial := s.shipSerial
+	ids := s.shipIDs[:0]
+	budget := func(orig mem.SegmentID, want float64) {
+		if int(orig) >= len(s.shipMark) {
+			n := s.Mem.NumSegments()
+			s.shipMark = padTo(s.shipMark, n, 0)
+			s.shipBudget = padTo(s.shipBudget, n, 0)
+		}
+		if s.shipMark[orig] != serial {
+			s.shipMark[orig] = serial
+			s.shipBudget[orig] = want
+			ids = append(ids, orig)
+		} else if want > s.shipBudget[orig] {
+			s.shipBudget[orig] = want
+		}
+	}
 	for _, p := range task.Parts {
 		// The framework distributes per *view region*: a strip covering
 		// both views ships (most of) both views' working sets even when
@@ -425,27 +486,21 @@ func (c *TaskContext) Ship() {
 		}
 		for _, tid := range p.Object.Textures {
 			orig := s.textureSegment(g, task, tid)
-			want := views * p.Object.FragsPerView * s.opt.Cache.SampleBytesPerFragment * overfetch
-			if want > budget[orig] {
-				budget[orig] = want
-			}
+			budget(orig, views*p.Object.FragsPerView*s.opt.Cache.SampleBytesPerFragment*overfetch)
 		}
 		vb := s.vertexSegment(g, task, p.Object.Index)
-		budget[vb] = float64(s.Mem.Segment(vb).Size)
+		budget(vb, float64(s.Mem.Segment(vb).Size))
 	}
-	// Reserve in segment-id order: budget is a map, and FIFO resources
-	// book reservations in arrival order, so iterating in map order
-	// would make the run's timings depend on Go's map randomization.
-	ids := make([]mem.SegmentID, 0, len(budget))
-	for orig := range budget {
-		ids = append(ids, orig)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	c.shipMap = make(map[mem.SegmentID]mem.SegmentID, len(ids))
+	// Reserve in segment-id order: FIFO resources book reservations in
+	// arrival order, so a stable order keeps the run's timings independent
+	// of the scratch table's fill order.
+	slices.Sort(ids)
+	c.shipped = true
 	shipEnd := c.start
 	for _, orig := range ids {
-		c.shipMap[orig] = s.ship(g, orig, budget[orig], task.ShipPersistent, c.start, &shipEnd)
+		s.ship(g, orig, s.shipBudget[orig], task.ShipPersistent, c.start, &shipEnd)
 	}
+	s.shipIDs = ids[:0]
 	if !task.Prefetch {
 		c.start = shipEnd
 	}
@@ -460,14 +515,20 @@ func (c *TaskContext) Migrate() {
 	gi := int(g)
 	migEnd := c.start
 	migrate := func(seg mem.SegmentID) {
-		if s.shipped[gi][seg] {
+		if s.shippedThisFrame(gi, seg) {
 			return
 		}
-		s.shipped[gi][seg] = true
-		if owner, ok := s.claimed[seg]; ok && owner != g {
+		s.markShipped(gi, seg)
+		if int(seg) < len(s.claimStamp) && s.claimStamp[seg] == s.frameEpoch && s.claimOwner[seg] != g {
 			return // another GPM's batch owns it this frame
 		}
-		s.claimed[seg] = g
+		if int(seg) >= len(s.claimStamp) {
+			n := s.Mem.NumSegments()
+			s.claimStamp = padTo(s.claimStamp, n, 0)
+			s.claimOwner = padTo(s.claimOwner, n, 0)
+		}
+		s.claimStamp[seg] = s.frameEpoch
+		s.claimOwner[seg] = g
 		if s.fullyHomedAt(seg, g) {
 			return // already local: pre-allocation is free
 		}
@@ -499,10 +560,10 @@ func (c *TaskContext) Execute() sim.Time {
 	s, g, task, start := c.sys, c.gpm, &c.task, c.start
 	gi := int(g)
 	resolve := func(orig mem.SegmentID) mem.SegmentID {
-		if cp, ok := c.shipMap[orig]; ok { // nil map lookup is fine
-			return cp
+		if !c.shipped {
+			return orig
 		}
-		return orig
+		return s.resident[gi][orig] // Ship guaranteed the copy exists
 	}
 
 	// Aggregate compute work and issue memory flows.
@@ -608,20 +669,25 @@ func (s *System) Run(g mem.GPMID, task Task) sim.Time {
 // earlier frame, or an earlier ship in this frame).
 func (s *System) ship(g mem.GPMID, orig mem.SegmentID, budget float64, persistent bool, at sim.Time, end *sim.Time) mem.SegmentID {
 	gi := int(g)
-	cp, exists := s.resident[gi][orig]
+	cp := noSegment
+	if int(orig) < len(s.resident[gi]) {
+		cp = s.resident[gi][orig]
+	}
+	exists := cp != noSegment
 	if !exists {
 		seg := s.Mem.Segment(orig)
 		cp = s.Mem.Alloc(seg.Kind, fmt.Sprintf("%s@gpm%d", seg.Name, gi), seg.Size)
 		s.Mem.Place(cp, g)
+		s.resident[gi] = padTo(s.resident[gi], s.Mem.NumSegments(), noSegment)
 		s.resident[gi][orig] = cp
 	}
 	if persistent && exists {
 		return cp // content still valid from a previous frame
 	}
-	if s.shipped[gi][orig] {
+	if s.shippedThisFrame(gi, orig) {
 		return cp // already transferred this frame
 	}
-	s.shipped[gi][orig] = true
+	s.markShipped(gi, orig)
 	size := float64(s.Mem.Segment(orig).Size)
 	if budget > size {
 		budget = size

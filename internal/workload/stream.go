@@ -236,17 +236,33 @@ func (st *Stream) Header() *scene.Scene {
 // exhausted. The returned frame is the caller's to keep (a fresh copy each
 // call).
 func (st *Stream) Next() (*scene.Frame, bool) {
-	if st.frames > 0 && st.next >= st.frames {
+	var f scene.Frame
+	if !st.NextInto(&f) {
 		return nil, false
+	}
+	return &f, true
+}
+
+// NextInto writes the stream's next frame into f, reusing f's backing
+// storage, and reports false when a bounded stream is exhausted. It
+// produces exactly Next's sequence — steady-state frame loops use it to
+// stream without a per-frame allocation.
+func (st *Stream) NextInto(f *scene.Frame) bool {
+	if st.frames > 0 && st.next >= st.frames {
+		return false
 	}
 	fi := st.next
 	st.next++
-	if fi == 0 {
-		f := scene.Frame{Index: 0, Objects: make([]scene.Object, len(st.base.Objects))}
-		copy(f.Objects, st.base.Objects)
-		return &f, true
+	n := len(st.base.Objects)
+	if cap(f.Objects) < n {
+		f.Objects = make([]scene.Object, n)
 	}
-	frame := scene.Frame{Index: fi, Objects: make([]scene.Object, len(st.base.Objects))}
+	f.Objects = f.Objects[:n]
+	f.Index = fi
+	if fi == 0 {
+		copy(f.Objects, st.base.Objects)
+		return true
+	}
 	jitter := 1 + 0.05*st.rng.NormFloat64()
 	if jitter < 0.85 {
 		jitter = 0.85
@@ -266,7 +282,7 @@ func (st *Stream) Next() (*scene.Frame, bool) {
 			o.FragsPerView = 0
 		}
 		o.Bounds = o.Bounds.Translate(geom.Vec2{X: dx, Y: dy}).Clamp(viewRect)
-		frame.Objects[oi] = o
+		f.Objects[oi] = o
 	}
-	return &frame, true
+	return true
 }

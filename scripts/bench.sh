@@ -2,16 +2,21 @@
 # bench.sh — archive a perf snapshot as BENCH_<date>.json so successive
 # PRs have a benchmark trajectory to compare against.
 #
-# Usage: scripts/bench.sh [benchtime]   (default 3x)
+# Usage: scripts/bench.sh [benchtime]   (default 1s)
 # Env:   OUT=path overrides the output file (scripts/bench_check.sh uses a
 #        temp file so the checked-in snapshot is never clobbered).
+#
+# The default benchtime is duration-based, not iteration-based: the gated
+# microbenchmarks (FabricReserve is ~tens of ns/op) need thousands of
+# iterations before ns/op means anything, while the figure-scale
+# benchmarks (~seconds/op) settle at one or two iterations either way.
 set -eu
 
 cd "$(dirname "$0")/.."
-benchtime="${1:-3x}"
+benchtime="${1:-1s}"
 out="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
 
-raw=$(go test -run '^$' -bench . -benchtime "$benchtime" .)
+raw=$(go test -run '^$' -bench . -benchtime "$benchtime" -benchmem .)
 
 printf '%s\n' "$raw" | awk -v benchtime="$benchtime" '
 BEGIN {
@@ -23,10 +28,14 @@ BEGIN {
     sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
     if (n++) printf ",\n"
     printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, $3
-    # Custom metrics come as value/unit pairs after ns/op.
+    # Custom metrics come as value/unit pairs after ns/op; -benchmem
+    # appends B/op and allocs/op, archived under JSON-friendly keys
+    # (bench_check.sh gates allocs_per_op on the frame benchmark).
     for (i = 5; i + 1 <= NF; i += 2) {
         unit = $(i + 1)
         gsub(/"/, "", unit)
+        if (unit == "B/op") unit = "bytes_per_op"
+        if (unit == "allocs/op") unit = "allocs_per_op"
         printf ", \"%s\": %s", unit, $i
     }
     printf "}"

@@ -2,20 +2,30 @@
 # bench_check.sh — benchmark-regression gate (used by CI).
 #
 # Runs the benchmark suite into a temp snapshot and compares the gated hot
-# paths — BenchmarkSimulatorFrame (one OO-VR frame end to end) and the two
+# paths — BenchmarkSimulatorFrame (one steady-state OO-VR frame),
+# BenchmarkTSLGrouping (the middleware batching pass) and the two
 # BenchmarkFabricReserve variants (interconnect reservation, fullmesh and
 # switch) — against the newest checked-in BENCH_*.json baseline; exits
 # non-zero when any gated benchmark is more than MAX_SLOWDOWN_PCT percent
 # slower. A gated benchmark absent from an older baseline is skipped with a
 # note (refresh the snapshot with scripts/bench.sh to arm it).
 #
-# Usage: scripts/bench_check.sh [benchtime]   (default 3x)
+# The frame benchmark is additionally gated on heap traffic: its
+# steady-state loop must stay at MAX_FRAME_ALLOCS allocations per frame
+# (default 0 — the incremental caches make the hot path allocation-free,
+# and this gate keeps it that way).
+#
+# Usage: scripts/bench_check.sh [benchtime]   (default 1s; duration-based
+#        so the nanosecond-scale gated benchmarks get enough iterations
+#        for a stable ns/op — an iteration-count benchtime like 3x makes
+#        them pure timer noise)
 # Env:   BASELINE=path   override baseline selection
 #        MAX_SLOWDOWN_PCT=N   regression threshold (default 20)
+#        MAX_FRAME_ALLOCS=N   allocs/op budget for the frame loop (default 0)
 set -eu
 
 cd "$(dirname "$0")/.."
-benchtime="${1:-3x}"
+benchtime="${1:-1s}"
 threshold="${MAX_SLOWDOWN_PCT:-20}"
 
 baseline="${BASELINE:-$(ls BENCH_*.json | sort | tail -n 1)}"
@@ -34,8 +44,15 @@ extract() {
     sed -n 's|.*"'"$1"'", "ns_per_op": \([0-9.e+]*\).*|\1|p' "$2"
 }
 
+extract_metric() {
+    # Pull any metric off a benchmark's snapshot line. $1 = benchmark name,
+    # $2 = metric key, $3 = file.
+    sed -n 's|.*"name": "'"$1"'",.*"'"$2"'": \([0-9.e+]*\).*|\1|p' "$3"
+}
+
 status=0
 for bench in BenchmarkSimulatorFrame \
+             BenchmarkTSLGrouping \
              BenchmarkFabricReserve/fullmesh \
              BenchmarkFabricReserve/switch; do
     base_ns=$(extract "$bench" "$baseline")
@@ -59,6 +76,22 @@ for bench in BenchmarkSimulatorFrame \
         }
     }' || status=1
 done
+
+# Heap-traffic gate: the steady-state frame loop must not allocate.
+max_allocs="${MAX_FRAME_ALLOCS:-0}"
+allocs=$(extract_metric BenchmarkSimulatorFrame allocs_per_op "$fresh")
+if [ -z "$allocs" ]; then
+    echo "bench_check: BenchmarkSimulatorFrame allocs_per_op missing from the fresh run" >&2
+    status=2
+else
+    awk -v allocs="$allocs" -v max="$max_allocs" 'BEGIN {
+        printf "BenchmarkSimulatorFrame: %g allocs/op (budget %g)\n", allocs, max
+        if (allocs > max) {
+            printf "FAIL: frame loop allocates (%g allocs/op > %g)\n", allocs, max
+            exit 1
+        }
+    }' || status=1
+fi
 
 if [ "$status" -eq 0 ]; then
     echo "OK: within the regression budget"
