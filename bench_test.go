@@ -20,7 +20,9 @@ import (
 	"oovr/internal/link"
 	"oovr/internal/mem"
 	"oovr/internal/scene"
+	"oovr/internal/service"
 	"oovr/internal/sim"
+	"oovr/internal/spec"
 	"oovr/internal/topo"
 )
 
@@ -239,6 +241,50 @@ func BenchmarkSimulatorFrame(b *testing.B) {
 			b.Fatal("stream ended")
 		}
 		ses.SubmitFrame(&f)
+	}
+}
+
+// BenchmarkServiceTick measures one steady-state serving-simulator step:
+// one frame of one resident session rendered through the discrete-event
+// engine — heap pop, deadline bookkeeping, the warm streaming frame itself,
+// and the next frame's event push. The cell is a single node holding a
+// single long-lived DM3-640 session (capacity 1; the λ burst beyond it is
+// rejected during warm-up), so after the warm-up steps every Step() is
+// exactly the marginal cost a serving cell pays per frame at steady state.
+// scripts/bench_check.sh gates both the ns/op and the allocs/op (budget 0:
+// the event heap and latency log are presized by Reserve, and the frame
+// path reuses the streaming machinery's warm caches).
+func BenchmarkServiceTick(b *testing.B) {
+	sp := spec.ServiceSpec{
+		ServiceVersion:     1,
+		Nodes:              []spec.NodeGroup{{Count: 1}},
+		Sessions:           []spec.SessionMix{{Workload: "DM3-640"}},
+		Lambda:             2000,
+		HorizonMs:          0.5,
+		// The mean is astronomical so the one admitted session (seed 4
+		// draws exactly one admission) outlives any realistic b.N.
+		MeanFrames:         1e8,
+		MaxSessionsPerNode: 1,
+		Seed:               4,
+	}
+	cell, err := service.OpenCell(sp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm-up: the arrival burst, the rejections, and the session's first
+	// frames (cold caches, predictor calibration) all land here.
+	for i := 0; i < 64; i++ {
+		if !cell.Step() {
+			b.Fatal("cell drained during warm-up")
+		}
+	}
+	cell.Reserve(b.N + 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !cell.Step() {
+			b.Fatal("cell drained; raise MeanFrames")
+		}
 	}
 }
 

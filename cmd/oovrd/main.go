@@ -47,6 +47,7 @@ import (
 
 	"oovr/internal/fleet"
 	"oovr/internal/server"
+	"oovr/internal/service"
 	"oovr/internal/spec"
 )
 
@@ -104,6 +105,7 @@ func serve(ctx context.Context, addr string, workers, cache int, lease, drain ti
 	fmt.Printf("  workloads:  %s\n", strings.Join(spec.WorkloadNames(), ", "))
 	fmt.Printf("  layouts:    %s\n", strings.Join(spec.LayoutNames(), ", "))
 	fmt.Printf("  topologies: %s\n", strings.Join(spec.TopologyNames(), ", "))
+	fmt.Printf("  routers:    %s\n", strings.Join(service.RouterNames(), ", "))
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
@@ -150,6 +152,13 @@ func runWorker(ctx context.Context, coordinator, name, chaosFlag string, workers
 				// The spec itself is bad (unknown component, invalid
 				// hardware): quarantine it fleet-wide instead of burning
 				// its retry budget on other workers.
+				return nil, fleet.Permanent(err)
+			}
+			return body, err
+		},
+		ExecService: func(sp spec.ServiceSpec) ([]byte, error) {
+			body, _, _, err := exec.ServiceResult(context.Background(), sp)
+			if err != nil && !server.IsExecError(err) {
 				return nil, fleet.Permanent(err)
 			}
 			return body, err

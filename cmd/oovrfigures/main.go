@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	oovrfigures [-exp all|T1|T2|T3|E0|F4|F7|F8|F9|F10|F15|F16|F17|F18|FT|O1|BRK|A1|A2|A3|A4]
+//	oovrfigures [-exp all|T1|T2|T3|E0|F4|F7|F8|F9|F10|F15|F16|F17|F18|FT|FS|O1|BRK|A1|A2|A3|A4]
 //	            [-frames N] [-seed S] [-csv] [-parallel N] [-topology NAME]
 //	            [-spec file.json] [-dump-spec] [-fleet http://host:8037]
 //
@@ -11,6 +11,10 @@
 // baseline per interconnect topology and link bandwidth. -topology runs
 // every *other* experiment on a named registered topology (fullmesh, ring,
 // chain, mesh2d, switch, hierarchical) instead of the paper's full mesh.
+// FS is the serving-capacity figure: concurrent VR sessions a cluster holds
+// at the 90 Hz SLO versus cluster size, baseline vs OO-VR, measured by the
+// open-loop serving simulator (internal/service; under -fleet its λ-sweep
+// cells shard one per worker).
 //
 // Every simulation the harness performs is a declarative RunSpec
 // underneath. -spec uses a stored RunSpec as the run template — its
@@ -47,6 +51,7 @@ import (
 	"oovr/internal/fleet"
 	"oovr/internal/gpu"
 	"oovr/internal/multigpu"
+	"oovr/internal/service"
 	"oovr/internal/spec"
 	"oovr/internal/stats"
 	"oovr/internal/topo"
@@ -70,6 +75,9 @@ func main() {
 		c := &fleet.Client{URL: strings.TrimRight(*fleetURL, "/")}
 		opt.Runner = func(rs spec.RunSpec) (multigpu.Metrics, error) {
 			return c.RunOne(context.Background(), rs)
+		}
+		opt.ServiceRunner = func(sp spec.ServiceSpec) (service.Report, error) {
+			return c.RunService(context.Background(), sp)
 		}
 	}
 	if *specPath != "" {
@@ -147,6 +155,9 @@ func main() {
 	}
 	if sel("FT") {
 		emit(experiments.FTopology(opt))
+	}
+	if sel("FS") {
+		emit(experiments.FSCapacity(opt))
 	}
 	if sel("O1") {
 		emit(experiments.O1Overhead())

@@ -8,6 +8,7 @@
 //	        [-topology fullmesh] [-frames 4] [-seed 1] [-placement striped]
 //	        [-all] [-parallel N] [-spec file.json] [-dump-spec]
 //	        [-fleet http://host:8037] [-v]
+//	oovrsim -service service.json [-parallel N] [-fleet URL] [-json]
 //
 // -topology selects a registered interconnect topology (fullmesh, ring,
 // chain, mesh2d, switch, hierarchical); -v additionally prints every
@@ -21,6 +22,14 @@
 // instead of the flags. Scheduler, benchmark and placement names resolve
 // through the component registries, so a policy registered by user code is
 // addressable here without touching this command.
+//
+// -service switches the command to the serving simulator: the file is a
+// ServiceSpec (internal/service; DESIGN.md §11) describing a cluster, a
+// Poisson session arrival process and a routing policy, and the output is
+// one row per sweep cell with the p50/p95/p99 frame latencies against the
+// render deadline and the SLO verdict. -json prints the canonical Report
+// JSON instead — the same bytes oovrd's /service endpoint returns and a
+// fleet-sharded run assembles, so the three paths can be diffed directly.
 //
 // With -all, every registered scheduler runs and prints a comparison;
 // -parallel bounds the concurrent simulations (each binds its own system,
@@ -42,6 +51,7 @@ import (
 	"oovr/internal/fleet"
 	"oovr/internal/multigpu"
 	"oovr/internal/par"
+	"oovr/internal/service"
 	"oovr/internal/spec"
 )
 
@@ -57,13 +67,23 @@ func main() {
 	all := flag.Bool("all", false, "run every registered scheduler and print a comparison")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "with -all: worker goroutines (output is identical for any value)")
 	specPath := flag.String("spec", "", "run this RunSpec file instead of translating the flags")
+	servicePath := flag.String("service", "", "run this ServiceSpec file through the serving simulator instead")
 	fleetURL := flag.String("fleet", "", "execute via the fleet coordinator at this base URL instead of in-process")
 	dumpSpec := flag.Bool("dump-spec", false, "print the run's RunSpec (JSON) and exit without simulating")
+	jsonOut := flag.Bool("json", false, "with -service: print the canonical Report JSON instead of the table")
 	verbose := flag.Bool("v", false, "also print per-link interconnect statistics, sorted by link name")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "unexpected arguments:", flag.Args())
 		os.Exit(2)
+	}
+
+	if *servicePath != "" {
+		runService(*servicePath, *fleetURL, *parallel, *jsonOut)
+		return
+	}
+	if *jsonOut {
+		fail(fmt.Errorf("-json applies to -service runs"))
 	}
 
 	// The flags translate to a RunSpec; -spec short-circuits the
@@ -170,6 +190,65 @@ func main() {
 	printMetrics(ms[0])
 	if *verbose {
 		printLinks(ms[0])
+	}
+}
+
+// runService executes a ServiceSpec file through the serving simulator —
+// in-process (cells spread over -parallel workers) or sharded across a
+// fleet one cell per task — and prints the per-cell capacity table or, with
+// -json, the canonical Report bytes. Both paths produce byte-identical
+// Reports: cells are content-addressed and every random draw derives from
+// the cell spec itself.
+func runService(path, fleetURL string, parallel int, jsonOut bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	sp, err := spec.DecodeService(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+
+	var rep service.Report
+	if fleetURL != "" {
+		c := &fleet.Client{URL: strings.TrimRight(fleetURL, "/")}
+		rep, err = c.RunService(context.Background(), sp)
+	} else {
+		rep, err = service.Run(sp, service.RunOptions{Parallel: parallel})
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	if jsonOut {
+		b, err := rep.Encode()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(string(b))
+		return
+	}
+	printReport(rep)
+}
+
+// printReport renders a service Report as the capacity table: one row per
+// sweep cell, latencies in ms against the render deadline.
+func printReport(rep service.Report) {
+	n := rep.Spec
+	fmt.Printf("service %s\n", rep.SpecHash[:12])
+	fmt.Printf("scheduler: %s   router: %s   deadline: %.4gms at %gHz   horizon: %gms   cap: %d/node\n\n",
+		n.Scheduler.Name, n.Router.Name, n.DeadlineMs, n.RefreshHz, n.HorizonMs, n.MaxSessionsPerNode)
+	fmt.Printf("%5s %8s %8s %8s %8s %8s %6s %8s %8s %8s %6s %6s  %s\n",
+		"nodes", "lambda", "arrived", "admit", "reject", "evicted", "peak", "p50 ms", "p95 ms", "p99 ms", "late", "drop", "slo")
+	for _, c := range rep.Cells {
+		verdict := "FAIL"
+		if c.SLOMet {
+			verdict = "ok"
+		}
+		fmt.Printf("%5d %8g %8d %8d %8d %8d %6d %8.3f %8.3f %8.3f %6d %6d  %s\n",
+			c.Nodes, c.Lambda, c.Arrivals, c.Admitted, c.Rejected, c.DroppedSessions,
+			c.PeakSessions, c.P50Ms, c.P95Ms, c.P99Ms, c.LateFrames, c.DroppedFrames, verdict)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"oovr/internal/multigpu"
 	"oovr/internal/pipeline"
 	"oovr/internal/scene"
+	"oovr/internal/service"
 	"oovr/internal/spec"
 	"oovr/internal/stats"
 	"oovr/internal/workload"
@@ -46,6 +47,12 @@ type Options struct {
 	// knowing. Runs are content-addressed, so a remote Runner returns
 	// bit-identical metrics to a local one.
 	Runner func(spec.RunSpec) (multigpu.Metrics, error)
+	// ServiceRunner is Runner's serving-simulator twin: when set, the FS
+	// capacity figure executes its ServiceSpecs through it (e.g.
+	// fleet.Client.RunService, which shards the sweep one cell per worker)
+	// instead of in-process service.Run. Reports are content-addressed, so
+	// either path yields byte-identical figures.
+	ServiceRunner func(spec.ServiceSpec) (service.Report, error)
 }
 
 // Defaults fills unset fields.
@@ -144,9 +151,10 @@ func ComparisonSchedulers() []string {
 // evaluates, for scoping a -dump-spec job matrix; it lives beside the
 // figure functions so a changed figure updates its matrix in the same
 // file. Nil means the experiment runs no flat scheduler-by-case matrix:
-// the tables (T1-T3, O1) simulate nothing, and E0's validation sweep
+// the tables (T1-T3, O1) simulate nothing, E0's validation sweep
 // (paired SMP/sequential modes on single-GPU hardware over extra scenes)
-// is not expressible this way. Two documented approximations: the
+// is not expressible this way, and FS submits ServiceSpecs rather than
+// RunSpecs (its job list is service.CellSpecs over the fsSpec grid). Two documented approximations: the
 // hardware sweeps (F4/F17/F18, and FT's topology x bandwidth grid) report
 // their scheme set evaluated at the caller's template hardware only, and
 // the ablations (A1-A4) list their

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"oovr/internal/multigpu"
+	"oovr/internal/service"
 	"oovr/internal/spec"
 )
 
@@ -45,6 +46,79 @@ func (c *Client) Submit(ctx context.Context, specs []spec.RunSpec) (string, erro
 		return "", err
 	}
 	return resp.Sweep, nil
+}
+
+// SubmitCells registers a sweep of single-cell ServiceSpecs and returns
+// its id. The wire shape is the same spec array /fleet/submit always took;
+// cells self-discriminate on service_version.
+func (c *Client) SubmitCells(ctx context.Context, cells []spec.ServiceSpec) (string, error) {
+	raw := make([]json.RawMessage, len(cells))
+	for i, cell := range cells {
+		b, err := cell.Canonical()
+		if err != nil {
+			return "", err
+		}
+		raw[i] = b
+	}
+	body, err := json.Marshal(raw)
+	if err != nil {
+		return "", err
+	}
+	var resp submitResponse
+	if err := c.post(ctx, "/fleet/submit", body, &resp); err != nil {
+		return "", err
+	}
+	return resp.Sweep, nil
+}
+
+// RunService shards a (possibly swept) ServiceSpec across the fleet — one
+// task per cell — and assembles the canonical Report from the verified
+// per-cell reports. The assembled bytes are identical to an in-process
+// service.Run of the same spec: cells are content-addressed, their random
+// draws derive from the cell spec itself, and each worker's report is
+// re-verified client-side before assembly.
+func (c *Client) RunService(ctx context.Context, sp spec.ServiceSpec) (service.Report, error) {
+	cells, err := service.CellSpecs(sp)
+	if err != nil {
+		return service.Report{}, err
+	}
+	sweep, err := c.SubmitCells(ctx, cells)
+	if err != nil {
+		return service.Report{}, err
+	}
+	bodies, err := c.Wait(ctx, sweep)
+	if err != nil {
+		return service.Report{}, err
+	}
+	reports := make([]service.CellReport, len(bodies))
+	for i, body := range bodies {
+		rep, err := DecodeVerifiedReport(body)
+		if err != nil {
+			return service.Report{}, fmt.Errorf("fleet: cell %d: %w", i, err)
+		}
+		if len(rep.Cells) != 1 {
+			return service.Report{}, fmt.Errorf("fleet: cell %d: report carries %d cells, want 1", i, len(rep.Cells))
+		}
+		reports[i] = rep.Cells[0]
+	}
+	return service.Assemble(sp, reports)
+}
+
+// DecodeVerifiedReport decodes one service sweep element: a quarantine
+// error element becomes an error, and a Report is re-verified against its
+// content address on the client side.
+func DecodeVerifiedReport(body []byte) (service.Report, error) {
+	var probe struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &probe); err == nil && probe.Error != "" {
+		return service.Report{}, fmt.Errorf("fleet: %s", probe.Error)
+	}
+	rep, err := service.VerifyReportBody(body)
+	if err != nil {
+		return service.Report{}, fmt.Errorf("fleet: report integrity: %w", err)
+	}
+	return rep, nil
 }
 
 // Wait polls the sweep until every spec is done or quarantined and

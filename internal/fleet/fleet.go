@@ -33,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"oovr/internal/service"
 	"oovr/internal/spec"
 )
 
@@ -196,21 +197,32 @@ func (c *Coordinator) Drain() {
 	c.mu.Unlock()
 }
 
-// Submit registers a sweep: one task per spec, deduplicated by content
-// address against everything the coordinator has ever seen. A spec that
-// cannot even be hashed (e.g. an unknown workload name) is quarantined at
-// submission, so Collect reports it in place like a /batch error element.
-// The returned id names the sweep for Collect.
+// Submit registers a sweep of RunSpecs — the common matrix case. It wraps
+// SubmitJobs, which also carries service cells.
 func (c *Coordinator) Submit(specs []spec.RunSpec) (id string, total int, err error) {
-	if len(specs) == 0 {
+	jobs := make([]spec.Job, len(specs))
+	for i := range specs {
+		jobs[i] = spec.Job{Run: &specs[i]}
+	}
+	return c.SubmitJobs(jobs)
+}
+
+// SubmitJobs registers a sweep: one task per job (a RunSpec or a
+// single-cell ServiceSpec), deduplicated by content address against
+// everything the coordinator has ever seen. A job that cannot even be
+// hashed (e.g. an unknown workload name) is quarantined at submission, so
+// Collect reports it in place like a /batch error element. The returned id
+// names the sweep for Collect.
+func (c *Coordinator) SubmitJobs(jobs []spec.Job) (id string, total int, err error) {
+	if len(jobs) == 0 {
 		return "", 0, fmt.Errorf("fleet: empty sweep")
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.nextSweep++
 	id = fmt.Sprintf("s%d", c.nextSweep)
-	order := make([]string, 0, len(specs))
-	for i, rs := range specs {
+	order := make([]string, 0, len(jobs))
+	for i, rs := range jobs {
 		hash, herr := rs.Hash()
 		if herr != nil {
 			key := fmt.Sprintf("!%s/%d", id, i)
@@ -420,10 +432,18 @@ func (c *Coordinator) Complete(leaseID int64, body []byte) (accepted bool, reaso
 	return true, ""
 }
 
-// verifyResult decodes a posted body and checks its content address:
-// the embedded spec's hash must equal the claimed SpecHash. Returns the
-// verified address.
+// verifyResult decodes a posted body — a RunSpec Result or a service
+// Report, told apart by their discriminating schema fields — and checks its
+// content address: the embedded spec's hash must equal the claimed
+// SpecHash. Returns the verified address.
 func verifyResult(body []byte) (string, error) {
+	if service.IsReportBody(body) {
+		rep, err := service.VerifyReportBody(body)
+		if err != nil {
+			return "", err
+		}
+		return rep.SpecHash, nil
+	}
 	res, err := spec.DecodeResult(body)
 	if err != nil {
 		return "", err

@@ -1,7 +1,6 @@
 package fleet
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -12,8 +11,9 @@ import (
 
 // The wire protocol, all JSON over HTTP, mounted under /fleet/:
 //
-//	POST /fleet/submit    [RunSpec, ...] (the -dump-spec format)
-//	                      → {"sweep": id, "total": n}
+//	POST /fleet/submit    [RunSpec | ServiceSpec cell, ...] (the -dump-spec
+//	                      format; elements self-discriminate on
+//	                      service_version) → {"sweep": id, "total": n}
 //	POST /fleet/lease     {"worker": name}
 //	                      → 200 Grant | 204 nothing dispatchable | 503 draining
 //	POST /fleet/renew     {"lease": id}      → 200 | 410 lease gone
@@ -101,17 +101,19 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	// Same strictness as the job server's spec decoding: a typoed knob in
 	// any element refuses the whole sweep rather than silently running a
-	// default simulation somewhere in a 63-spec matrix.
-	specs := make([]spec.RunSpec, len(raw))
+	// default simulation somewhere in a 63-spec matrix. Elements are jobs:
+	// RunSpecs or single-cell ServiceSpecs, self-discriminated by the
+	// service_version field.
+	jobs := make([]spec.Job, len(raw))
 	for i, b := range raw {
-		s, err := spec.Decode(bytes.NewReader(b))
+		j, err := spec.DecodeJobBytes(b)
 		if err != nil {
 			httpJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("element %d: %v", i, err)})
 			return
 		}
-		specs[i] = s
+		jobs[i] = j
 	}
-	id, total, err := c.Submit(specs)
+	id, total, err := c.SubmitJobs(jobs)
 	if err != nil {
 		httpJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return

@@ -30,6 +30,10 @@ func Permanent(err error) error { return PermanentError{Err: err} }
 // retried within the coordinator's budget.
 type ExecFunc func(rs spec.RunSpec) ([]byte, error)
 
+// ExecServiceFunc executes one single-cell ServiceSpec and returns the
+// canonical service Report bytes, under the same error contract.
+type ExecServiceFunc func(sp spec.ServiceSpec) ([]byte, error)
+
 // Worker pulls leased specs from a coordinator, executes them, and posts
 // Results back. Every coordinator RPC retries with exponential backoff
 // and jitter; a lease is kept alive by a heartbeat goroutine renewing at
@@ -43,6 +47,10 @@ type Worker struct {
 	Name string
 	// Exec executes one spec (required).
 	Exec ExecFunc
+	// ExecService executes one leased service cell. A worker without it
+	// reports service grants as resolve failures, quarantining them — an
+	// old worker must not burn a cell's retry budget pretending to run it.
+	ExecService ExecServiceFunc
 	// Chaos injects deterministic faults (zero value: none).
 	Chaos Chaos
 	// StallFor is how long a chaos stall sits on a finished lease while
@@ -163,10 +171,15 @@ func (w *Worker) serve(ctx context.Context, g *Grant, try int) {
 		}
 	}()
 
-	rs, err := spec.Decode(bytes.NewReader(g.Spec))
+	job, err := spec.DecodeJobBytes(g.Spec)
 	if err != nil {
 		w.Stats.Failed.Add(1)
 		w.fail(ctx, g.Lease, FailResolve, fmt.Errorf("leased spec does not decode: %w", err))
+		return
+	}
+	if job.Service != nil && w.ExecService == nil {
+		w.Stats.Failed.Add(1)
+		w.fail(ctx, g.Lease, FailResolve, fmt.Errorf("this worker cannot execute service specs"))
 		return
 	}
 
@@ -177,7 +190,12 @@ func (w *Worker) serve(ctx context.Context, g *Grant, try int) {
 		sleep(ctx, w.StallFor)
 	}
 
-	body, err := w.Exec(rs)
+	var body []byte
+	if job.Service != nil {
+		body, err = w.ExecService(*job.Service)
+	} else {
+		body, err = w.Exec(*job.Run)
+	}
 	if err != nil {
 		kind := FailExec
 		var pe PermanentError

@@ -10,7 +10,9 @@
 //	POST /run         one RunSpec in, one canonical Result out
 //	POST /batch       a JSON array of RunSpecs in, an array of Results out
 //	                  (elements that fail resolve to {"error": ...})
+//	POST /service     one ServiceSpec in, one canonical service Report out
 //	GET  /schedulers  sorted registered scheduler names
+//	GET  /routers     sorted registered session→node routing policies
 //	GET  /workloads   sorted registered workload names
 //	GET  /layouts     sorted registered placement layout names
 //	GET  /topologies  sorted registered interconnect topology names
@@ -33,6 +35,7 @@ import (
 	"sync"
 
 	"oovr/internal/par"
+	"oovr/internal/service"
 	"oovr/internal/spec"
 )
 
@@ -114,6 +117,8 @@ func New(opt Options) *Server {
 	s.sem = make(chan struct{}, s.opt.Workers)
 	s.mux.HandleFunc("/run", s.handleRun)
 	s.mux.HandleFunc("/batch", s.handleBatch)
+	s.mux.HandleFunc("/service", s.handleService)
+	s.mux.HandleFunc("/routers", listHandler(service.RouterNames))
 	s.mux.HandleFunc("/schedulers", listHandler(spec.PlannerNames))
 	s.mux.HandleFunc("/workloads", listHandler(spec.WorkloadNames))
 	s.mux.HandleFunc("/layouts", listHandler(spec.LayoutNames))
@@ -273,6 +278,130 @@ func (s *Server) execute(ctx context.Context, run *spec.Run) (body []byte, err e
 		return nil, execError{err}
 	}
 	return body, nil
+}
+
+// ServiceResult answers one ServiceSpec the way Result answers a RunSpec:
+// content-addressed single-flight caching, the same worker pool, the same
+// error classification. The cache key is namespaced ("service:"+hash) so a
+// service report can never alias a RunSpec result. A sweep's cells run
+// serially inside one worker-pool slot — one service submission costs one
+// slot, like any other simulation; cluster-scale fan-out is the fleet's job
+// (per-cell sharding), not the in-process pool's.
+func (s *Server) ServiceResult(ctx context.Context, sp spec.ServiceSpec) (body []byte, hash string, hit bool, err error) {
+	hash, err = sp.Hash()
+	if err != nil {
+		return nil, "", false, err
+	}
+	key := "service:" + hash
+	if s.opt.CacheEntries < 0 {
+		s.mu.Lock()
+		s.stats.CacheMisses++
+		s.mu.Unlock()
+		body, err = s.resolveAndExecuteService(ctx, sp)
+		return body, hash, false, err
+	}
+
+	s.mu.Lock()
+	if e, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		<-e.done
+		if e.err == nil {
+			s.mu.Lock()
+			s.stats.CacheHits++
+			s.mu.Unlock()
+		}
+		return e.body, hash, true, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	s.cache[key] = e
+	s.stats.CacheMisses++
+	s.mu.Unlock()
+
+	e.body, e.err = s.resolveAndExecuteService(ctx, sp)
+	s.mu.Lock()
+	if e.err != nil {
+		delete(s.cache, key)
+	} else {
+		s.remember(key)
+	}
+	s.mu.Unlock()
+	close(e.done)
+	return e.body, hash, false, e.err
+}
+
+// resolveAndExecuteService validates a service spec (client errors) and
+// simulates it (server errors), mirroring resolveAndExecute's phases and
+// panic containment.
+func (s *Server) resolveAndExecuteService(ctx context.Context, sp spec.ServiceSpec) (body []byte, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = execError{fmt.Errorf("service run panicked: %v", p)}
+		}
+	}()
+	// The resolve phase: spec validation plus router resolution — every
+	// error a bad submission can cause, before any simulation starts.
+	n, err := sp.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := service.NewRouter(n.Router.Name, n.Router.Params); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("abandoned before execution: %w", err)
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("abandoned waiting for an execution slot: %w", ctx.Err())
+	}
+	defer func() { <-s.sem }()
+	rep, err := service.Run(n, service.RunOptions{})
+	if err != nil {
+		return nil, execError{err}
+	}
+	s.mu.Lock()
+	s.stats.Runs++
+	s.mu.Unlock()
+	body, err = rep.Encode()
+	if err != nil {
+		return nil, execError{err}
+	}
+	return body, nil
+}
+
+// handleService serves POST /service.
+func (s *Server) handleService(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a ServiceSpec", http.StatusMethodNotAllowed)
+		return
+	}
+	sp, err := spec.DecodeService(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	body, hash, hit, err := s.ServiceResult(r.Context(), sp)
+	if err != nil {
+		code := http.StatusBadRequest
+		var ee execError
+		if errors.As(err, &ee) {
+			code = http.StatusInternalServerError
+		}
+		s.fail(w, code, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Oovrd-Spec-Hash", hash)
+	if hit {
+		w.Header().Set("X-Oovrd-Cache", "hit")
+	} else {
+		w.Header().Set("X-Oovrd-Cache", "miss")
+	}
+	w.Write(body)
 }
 
 // handleRun serves POST /run.

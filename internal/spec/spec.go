@@ -111,28 +111,7 @@ func (s RunSpec) Normalized() (RunSpec, error) {
 	// distinct content addresses and defeat the result cache.
 	n.Scheduler.Name = planners.canonicalName(n.Scheduler.Name)
 	n.Placement = layouts.canonicalName(n.Placement)
-	if n.Hardware == nil {
-		opt := multigpu.DefaultOptions()
-		n.Hardware = &opt
-	} else {
-		opt := *n.Hardware // never alias the caller's options
-		n.Hardware = &opt
-	}
-	// The topology canonicalizes like the other component names: aliases
-	// fold to the primary spelling, parameters the named topology never
-	// reads (and explicitly spelled defaults) fold to zero, and the
-	// default full mesh folds to the empty spelling — a pre-topology spec,
-	// an explicit "fullmesh" spec, and a spec dragging an inert knob along
-	// must all share one canonical form and one content address.
-	tp := topo.CanonicalParams(n.Hardware.Config.TopologyParams())
-	if tp.Name == topo.Default {
-		tp.Name = ""
-	}
-	n.Hardware.Config.Topology = tp.Name
-	n.Hardware.Config.TopologyMeshCols = tp.MeshCols
-	n.Hardware.Config.TopologyPackageSize = tp.PackageSize
-	n.Hardware.Config.TopologyTrunkGBs = tp.TrunkGBs
-	n.Hardware.Config.TopologyBackplaneGBs = tp.BackplaneGBs
+	n.Hardware = canonicalHardware(n.Hardware)
 	if n.Workload.Inline != nil {
 		sp := *n.Workload.Inline
 		n.Workload.Inline = &sp
@@ -174,6 +153,34 @@ func (s RunSpec) Normalized() (RunSpec, error) {
 		n.Scheduler.Params = canon
 	}
 	return n, nil
+}
+
+// canonicalHardware expands a hardware block to the fully explicit option
+// set without aliasing the caller's struct, and canonicalizes its topology
+// the way component names canonicalize: aliases fold to the primary
+// spelling, parameters the named topology never reads (and explicitly
+// spelled defaults) fold to zero, and the default full mesh folds to the
+// empty spelling — a pre-topology spec, an explicit "fullmesh" spec, and a
+// spec dragging an inert knob along must all share one canonical form and
+// one content address. RunSpec and ServiceSpec hardware normalize through
+// the same path.
+func canonicalHardware(h *multigpu.Options) *multigpu.Options {
+	var opt multigpu.Options
+	if h == nil {
+		opt = multigpu.DefaultOptions()
+	} else {
+		opt = *h // never alias the caller's options
+	}
+	tp := topo.CanonicalParams(opt.Config.TopologyParams())
+	if tp.Name == topo.Default {
+		tp.Name = ""
+	}
+	opt.Config.Topology = tp.Name
+	opt.Config.TopologyMeshCols = tp.MeshCols
+	opt.Config.TopologyPackageSize = tp.PackageSize
+	opt.Config.TopologyTrunkGBs = tp.TrunkGBs
+	opt.Config.TopologyBackplaneGBs = tp.BackplaneGBs
+	return &opt
 }
 
 // canonicalJSON re-encodes an arbitrary JSON document with sorted object

@@ -44,6 +44,7 @@ import (
 	"oovr/internal/pipeline"
 	"oovr/internal/render"
 	"oovr/internal/scene"
+	"oovr/internal/service"
 	"oovr/internal/spec"
 	"oovr/internal/stats"
 	"oovr/internal/workload"
@@ -324,6 +325,71 @@ func NewPlanner(name string, params json.RawMessage) (Planner, error) {
 // DecodeRunSpec strictly reads a RunSpec (unknown fields are an error).
 func DecodeRunSpec(r io.Reader) (RunSpec, error) { return spec.Decode(r) }
 
+// The serving simulator: a ServiceSpec describes a cluster of simulated
+// multi-GPU nodes, an open-loop Poisson session arrival process, and an
+// admission + routing policy; RunService simulates it in virtual time and
+// reports per-cell frame-latency percentiles against the 90 Hz deadline,
+// rejected/evicted sessions and per-node utilization. Sweeps (NodeSweep x
+// LambdaSweep) split into standalone single-cell specs, which is what lets
+// cmd/oovrsim -service, oovrd's /service endpoint and a fleet-sharded run
+// produce byte-identical canonical Reports. DESIGN.md §11 has the model.
+type (
+	// ServiceSpec is one serving simulation, fully described as data.
+	ServiceSpec = spec.ServiceSpec
+	// ServiceNodeGroup is a homogeneous slice of the simulated cluster.
+	ServiceNodeGroup = spec.NodeGroup
+	// ServiceSessionMix is one entry of the arriving-session workload mix.
+	ServiceSessionMix = spec.SessionMix
+	// RouterRef names a ServiceSpec's session→node routing policy.
+	RouterRef = spec.RouterRef
+	// ServiceReport is the canonical outcome of a ServiceSpec.
+	ServiceReport = service.Report
+	// ServiceCellReport is one sweep cell's counters and percentiles.
+	ServiceCellReport = service.CellReport
+	// Router decides which node admits an arriving session (or rejects it).
+	Router = service.Router
+	// RouterFactory builds a registered Router from its JSON params.
+	RouterFactory = service.RouterFactory
+	// NodeView is the per-node load snapshot a Router routes on.
+	NodeView = service.NodeView
+	// MotionTrace is a recorded head-motion pan sequence; serving sessions
+	// replay one (ServiceSpec.Motion) instead of the synthetic random walk.
+	MotionTrace = workload.Trace
+)
+
+// RunService simulates a ServiceSpec to completion; parallel bounds the
+// worker goroutines evaluating independent sweep cells (0 or 1 runs
+// serially — the Report is byte-identical for any value).
+func RunService(sp ServiceSpec, parallel int) (ServiceReport, error) {
+	return service.Run(sp, service.RunOptions{Parallel: parallel})
+}
+
+// DecodeServiceSpec strictly reads a ServiceSpec (unknown fields error).
+func DecodeServiceSpec(r io.Reader) (ServiceSpec, error) { return spec.DecodeService(r) }
+
+// RegisterRouter adds a named session→node routing policy, addressable from
+// ServiceSpec.Router (pre-registered: least-loaded, round-robin,
+// topology-aware).
+func RegisterRouter(name string, f RouterFactory) { service.RegisterRouter(name, f) }
+
+// RegisteredRouters lists the sorted registered router names.
+func RegisteredRouters() []string { return service.RouterNames() }
+
+// RegisterMotionTrace adds a named head-motion trace, addressable from
+// ServiceSpec.Motion (pre-registered: "hmd-pan", a recorded seated
+// look-around gesture at 90 Hz).
+func RegisterMotionTrace(t MotionTrace) { workload.RegisterTrace(t) }
+
+// RegisteredMotionTraces lists the sorted registered trace names.
+func RegisteredMotionTraces() []string { return workload.TraceNames() }
+
+// ReplayMotion adapts a trace to the FrameStream.Motion hook: the stream's
+// head pose then follows the recording instead of a synthetic random walk,
+// byte-identically on every replay.
+func ReplayMotion(t MotionTrace) func(frame int) (dx, dy float64) {
+	return workload.ReplayMotion(t)
+}
+
 // Experiments.
 type (
 	// ExperimentOptions configure a harness run.
@@ -349,6 +415,7 @@ var (
 	Figure17            = experiments.F17BandwidthScaling
 	Figure18            = experiments.F18GPMScaling
 	FigureTopology      = experiments.FTopology
+	FigureServiceCap    = experiments.FSCapacity
 	OverheadAnalysis    = experiments.O1Overhead
 	ResidualTraffic     = experiments.TrafficBreakdown
 	AblationNoBatching  = experiments.A1NoBatching

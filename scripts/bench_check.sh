@@ -3,17 +3,22 @@
 #
 # Runs the benchmark suite into a temp snapshot and compares the gated hot
 # paths — BenchmarkSimulatorFrame (one steady-state OO-VR frame),
+# BenchmarkServiceTick (one steady-state serving-simulator step),
 # BenchmarkTSLGrouping (the middleware batching pass) and the two
 # BenchmarkFabricReserve variants (interconnect reservation, fullmesh and
-# switch) — against the newest checked-in BENCH_*.json baseline; exits
-# non-zero when any gated benchmark is more than MAX_SLOWDOWN_PCT percent
-# slower. A gated benchmark absent from an older baseline is skipped with a
-# note (refresh the snapshot with scripts/bench.sh to arm it).
+# switch) — against the newest checked-in BENCH_*.json baseline. Every gate
+# is evaluated before the script exits, so one run reports the complete
+# failure list (summarized on the last line) rather than the first broken
+# gate; the exit status is non-zero when any gated benchmark is more than
+# MAX_SLOWDOWN_PCT percent slower. A gated benchmark absent from an older
+# baseline is skipped with a note (refresh the snapshot with
+# scripts/bench.sh to arm it).
 #
-# The frame benchmark is additionally gated on heap traffic: its
-# steady-state loop must stay at MAX_FRAME_ALLOCS allocations per frame
-# (default 0 — the incremental caches make the hot path allocation-free,
-# and this gate keeps it that way).
+# The frame and service-tick benchmarks are additionally gated on heap
+# traffic: their steady-state loops must stay at MAX_FRAME_ALLOCS
+# allocations per op (default 0 — the incremental caches and presized event
+# queues make both hot paths allocation-free, and this gate keeps it that
+# way).
 #
 # Usage: scripts/bench_check.sh [benchtime]   (default 1s; duration-based
 #        so the nanosecond-scale gated benchmarks get enough iterations
@@ -21,7 +26,7 @@
 #        them pure timer noise)
 # Env:   BASELINE=path   override baseline selection
 #        MAX_SLOWDOWN_PCT=N   regression threshold (default 20)
-#        MAX_FRAME_ALLOCS=N   allocs/op budget for the frame loop (default 0)
+#        MAX_FRAME_ALLOCS=N   allocs/op budget for the gated loops (default 0)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -51,7 +56,19 @@ extract_metric() {
 }
 
 status=0
+failed=""
+
+note_failure() {
+    # $1 = exit status of the gate, $2 = gate label. Accumulates the
+    # summary line so every broken gate is visible from one run.
+    if [ "$1" -ne 0 ]; then
+        [ "$1" -gt "$status" ] && status="$1"
+        failed="$failed $2"
+    fi
+}
+
 for bench in BenchmarkSimulatorFrame \
+             BenchmarkServiceTick \
              BenchmarkTSLGrouping \
              BenchmarkFabricReserve/fullmesh \
              BenchmarkFabricReserve/switch; do
@@ -59,7 +76,7 @@ for bench in BenchmarkSimulatorFrame \
     new_ns=$(extract "$bench" "$fresh")
     if [ -z "$new_ns" ]; then
         echo "bench_check: $bench missing from the fresh run" >&2
-        status=2
+        note_failure 2 "$bench(missing)"
         continue
     fi
     if [ -z "$base_ns" ]; then
@@ -74,26 +91,31 @@ for bench in BenchmarkSimulatorFrame \
             printf "FAIL: %s regressed more than %g%%\n", name, pct
             exit 1
         }
-    }' || status=1
+    }' || note_failure 1 "$bench"
 done
 
-# Heap-traffic gate: the steady-state frame loop must not allocate.
+# Heap-traffic gates: the steady-state frame and service-tick loops must
+# not allocate.
 max_allocs="${MAX_FRAME_ALLOCS:-0}"
-allocs=$(extract_metric BenchmarkSimulatorFrame allocs_per_op "$fresh")
-if [ -z "$allocs" ]; then
-    echo "bench_check: BenchmarkSimulatorFrame allocs_per_op missing from the fresh run" >&2
-    status=2
-else
-    awk -v allocs="$allocs" -v max="$max_allocs" 'BEGIN {
-        printf "BenchmarkSimulatorFrame: %g allocs/op (budget %g)\n", allocs, max
+for bench in BenchmarkSimulatorFrame BenchmarkServiceTick; do
+    allocs=$(extract_metric "$bench" allocs_per_op "$fresh")
+    if [ -z "$allocs" ]; then
+        echo "bench_check: $bench allocs_per_op missing from the fresh run" >&2
+        note_failure 2 "$bench(allocs-missing)"
+        continue
+    fi
+    awk -v allocs="$allocs" -v max="$max_allocs" -v name="$bench" 'BEGIN {
+        printf "%s: %g allocs/op (budget %g)\n", name, allocs, max
         if (allocs > max) {
-            printf "FAIL: frame loop allocates (%g allocs/op > %g)\n", allocs, max
+            printf "FAIL: %s allocates (%g allocs/op > %g)\n", name, allocs, max
             exit 1
         }
-    }' || status=1
-fi
+    }' || note_failure 1 "$bench(allocs)"
+done
 
 if [ "$status" -eq 0 ]; then
     echo "OK: within the regression budget"
+else
+    echo "FAILED gates:$failed"
 fi
 exit "$status"
