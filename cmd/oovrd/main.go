@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -46,6 +47,7 @@ import (
 	"time"
 
 	"oovr/internal/fleet"
+	"oovr/internal/obs"
 	"oovr/internal/server"
 	"oovr/internal/service"
 	"oovr/internal/spec"
@@ -61,13 +63,39 @@ func main() {
 	coordinator := flag.String("coordinator", "", "coordinator base URL (required with -worker)")
 	name := flag.String("name", "", "worker name (default host-pid)")
 	chaosFlag := flag.String("chaos", "", "worker fault injection: crash=P,stall=P,corrupt=P,seed=N")
+	quiet := flag.Bool("quiet", false, "suppress the per-request access log")
+	tracePath := flag.String("trace", "", "append structured JSONL trace events (run lifecycle, lease timelines) to this file")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this extra address (off when empty)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *tracePath != "" {
+		f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tr := obs.NewTracer(f)
+		obs.SetTracer(tr)
+		defer tr.Close()
+	}
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr)
+	}
+
 	if *workerMode {
-		if err := runWorker(ctx, *coordinator, *name, *chaosFlag, *workers, *cache); err != nil {
+		// The obs listener is opt-in for workers: only an explicit -addr
+		// serves /metrics and /healthz, so a fleet of workers on one host
+		// never fights over the default port.
+		obsAddr := ""
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "addr" {
+				obsAddr = *addr
+			}
+		})
+		if err := runWorker(ctx, *coordinator, *name, *chaosFlag, *workers, *cache, obsAddr); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -77,25 +105,50 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-chaos applies to workers; start this daemon with -worker")
 		os.Exit(2)
 	}
-	if err := serve(ctx, *addr, *workers, *cache, *lease, *drain); err != nil {
+	if err := serve(ctx, *addr, *workers, *cache, *lease, *drain, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+}
+
+// serveDebug exposes net/http/pprof on its own listener: profiling stays
+// off the service port and off by default.
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	fmt.Printf("oovrd pprof on %s\n", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fmt.Fprintf(os.Stderr, "pprof listener: %v\n", err)
 	}
 }
 
 // serve runs the job server with the fleet coordinator mounted beside it,
 // until the context dies; then it drains — the coordinator stops granting
 // leases and in-flight requests get the drain deadline to finish.
-func serve(ctx context.Context, addr string, workers, cache int, lease, drain time.Duration) error {
-	srv := server.New(server.Options{Workers: workers, CacheEntries: cache})
+func serve(ctx context.Context, addr string, workers, cache int, lease, drain time.Duration, quiet bool) error {
+	reg := obs.NewRegistry()
+	srv := server.New(server.Options{Workers: workers, CacheEntries: cache, Metrics: reg, Role: "coordinator"})
 	coord := fleet.NewCoordinator(fleet.CoordinatorOptions{LeaseTTL: lease})
+	coord.RegisterMetrics(reg)
 	mux := http.NewServeMux()
 	mux.Handle("/fleet/", coord)
 	mux.Handle("/", srv)
 
+	requests := reg.NewCounterVec("oovr_http_requests_total",
+		"HTTP requests served, by path and status class.", "path", "status")
+	logf := log.New(os.Stdout, "", log.LstdFlags).Printf
+	if quiet {
+		logf = nil
+	}
+	handler := obs.AccessLog(mux, logf, requests)
+
 	hs := &http.Server{
 		Addr:    addr,
-		Handler: mux,
+		Handler: handler,
 		// A peer that dribbles its headers must not hold a connection
 		// hostage; request bodies are separately bounded by the handlers.
 		ReadHeaderTimeout: 10 * time.Second,
@@ -128,7 +181,7 @@ func serve(ctx context.Context, addr string, workers, cache int, lease, drain ti
 // through the same single-flight content-addressed machinery the HTTP
 // endpoints use — an identical spec leased twice (or arriving later over
 // /run) shares one execution and one cached body.
-func runWorker(ctx context.Context, coordinator, name, chaosFlag string, workers, cache int) error {
+func runWorker(ctx context.Context, coordinator, name, chaosFlag string, workers, cache int, obsAddr string) error {
 	if coordinator == "" {
 		return fmt.Errorf("-worker needs -coordinator URL")
 	}
@@ -140,7 +193,8 @@ func runWorker(ctx context.Context, coordinator, name, chaosFlag string, workers
 		host, _ := os.Hostname()
 		name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
-	exec := server.New(server.Options{Workers: workers, CacheEntries: cache})
+	reg := obs.NewRegistry()
+	exec := server.New(server.Options{Workers: workers, CacheEntries: cache, Metrics: reg, Role: "worker"})
 	w := &fleet.Worker{
 		Coordinator: strings.TrimRight(coordinator, "/"),
 		Name:        name,
@@ -163,6 +217,20 @@ func runWorker(ctx context.Context, coordinator, name, chaosFlag string, workers
 			}
 			return body, err
 		},
+	}
+	w.RegisterMetrics(reg)
+	if obsAddr != "" {
+		// An explicitly chosen -addr serves the worker's observability
+		// surface: /metrics and /healthz only, not the job endpoints.
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/healthz", exec)
+		go func() {
+			if err := http.ListenAndServe(obsAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "worker obs listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("oovrd worker metrics on %s\n", obsAddr)
 	}
 	fmt.Printf("oovrd worker %s pulling from %s (%d slots, chaos %q)\n", name, coordinator, workers, chaosFlag)
 	return w.Run(ctx)

@@ -50,6 +50,7 @@ import (
 
 	"oovr/internal/fleet"
 	"oovr/internal/multigpu"
+	"oovr/internal/obs"
 	"oovr/internal/par"
 	"oovr/internal/service"
 	"oovr/internal/spec"
@@ -71,11 +72,22 @@ func main() {
 	fleetURL := flag.String("fleet", "", "execute via the fleet coordinator at this base URL instead of in-process")
 	dumpSpec := flag.Bool("dump-spec", false, "print the run's RunSpec (JSON) and exit without simulating")
 	jsonOut := flag.Bool("json", false, "with -service: print the canonical Report JSON instead of the table")
-	verbose := flag.Bool("v", false, "also print per-link interconnect statistics, sorted by link name")
+	verbose := flag.Bool("v", false, "also print the frame-phase breakdown and per-link interconnect statistics")
+	tracePath := flag.String("trace", "", "append structured JSONL trace events (run lifecycle, per-frame phases) to this file")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "unexpected arguments:", flag.Args())
 		os.Exit(2)
+	}
+
+	if *tracePath != "" {
+		f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fail(err)
+		}
+		tr := obs.NewTracer(f)
+		obs.SetTracer(tr)
+		defer tr.Close()
 	}
 
 	if *servicePath != "" {
@@ -189,8 +201,29 @@ func main() {
 	}
 	printMetrics(ms[0])
 	if *verbose {
+		if *fleetURL == "" {
+			printPhases(runs[0].Phases)
+		}
 		printLinks(ms[0])
 	}
+}
+
+// printPhases renders the run's frame-phase cycle breakdown: where the
+// simulated time went — data distribution, pre-allocation, rendering, and
+// the composition excess beyond rendering.
+func printPhases(p multigpu.PhaseCycles) {
+	total := float64(p.Ship + p.Migrate + p.Execute + p.Compose)
+	if total == 0 {
+		total = 1 // all-zero breakdown prints 0.0% rows, not NaN
+	}
+	fmt.Println("frame phases (cycles, summed over GPMs):")
+	row := func(name string, v float64) {
+		fmt.Printf("  %-12s %14.0f %6.1f%%\n", name, v, 100*v/total)
+	}
+	row("ship", float64(p.Ship))
+	row("migrate", float64(p.Migrate))
+	row("execute", float64(p.Execute))
+	row("compose", float64(p.Compose))
 }
 
 // runService executes a ServiceSpec file through the serving simulator —

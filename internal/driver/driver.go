@@ -24,6 +24,7 @@ import (
 
 	"oovr/internal/mem"
 	"oovr/internal/multigpu"
+	"oovr/internal/obs"
 	"oovr/internal/scene"
 	"oovr/internal/sim"
 )
@@ -200,10 +201,12 @@ func (l *FrameLoop) RunFrame(f *scene.Frame) sim.Time {
 	fi := l.fi
 	l.fi++
 	pipelined := l.depth > 1
+	var barrierStart sim.Time
 	if !pipelined {
-		l.sys.BeginFrame()
+		barrierStart = l.sys.BeginFrame()
 	}
 	ob, _ := l.fp.(Observer)
+	phasesBefore := l.sys.Phases()
 
 	var frameStart, frameEnd sim.Time
 	started := false
@@ -253,9 +256,32 @@ func (l *FrameLoop) RunFrame(f *scene.Frame) sim.Time {
 		}
 		l.sys.RecordFrameLatency(frameEnd - frameStart)
 		l.ends[fi%l.depth] = frameEnd
+		l.traceFrame(fi, frameEnd-frameStart, phasesBefore)
 		return frameEnd
 	}
-	return l.sys.EndFrame()
+	end := l.sys.EndFrame()
+	l.traceFrame(fi, end-barrierStart, phasesBefore)
+	return end
+}
+
+// traceFrame emits one per-frame event to the process tracer: the frame's
+// latency and its phase-cycle breakdown since the previous frame. The nil
+// check keeps the steady-state loop allocation-free when tracing is off
+// (the fields slice is only built inside the branch).
+func (l *FrameLoop) traceFrame(fi int, latency sim.Time, before multigpu.PhaseCycles) {
+	tr := obs.Active()
+	if tr == nil {
+		return
+	}
+	p := l.sys.Phases()
+	tr.Emit("frame",
+		obs.F{K: "scheme", V: l.name},
+		obs.F{K: "frame", V: fi},
+		obs.F{K: "latency_cycles", V: int64(latency)},
+		obs.F{K: "ship_cycles", V: int64(p.Ship - before.Ship)},
+		obs.F{K: "migrate_cycles", V: int64(p.Migrate - before.Migrate)},
+		obs.F{K: "execute_cycles", V: int64(p.Execute - before.Execute)},
+		obs.F{K: "compose_cycles", V: int64(p.Compose - before.Compose)})
 }
 
 // maxNextFree returns the latest GPM availability — the loop's notion of
@@ -272,6 +298,9 @@ func (l *FrameLoop) maxNextFree() sim.Time {
 
 // Collect snapshots the run's metrics under the planner's name.
 func (l *FrameLoop) Collect() multigpu.Metrics { return l.sys.Collect(l.name) }
+
+// Phases returns the run's accumulated per-phase cycle totals.
+func (l *FrameLoop) Phases() multigpu.PhaseCycles { return l.sys.Phases() }
 
 // place applies the plan's framebuffer placement (idempotent layout swaps).
 func (l *FrameLoop) place(plan Plan) {
@@ -336,6 +365,9 @@ func (s *Session) SubmitFrame(f *scene.Frame) sim.Time {
 
 // Frames returns how many frames the session has rendered.
 func (s *Session) Frames() int { return s.loop.Frames() }
+
+// Phases returns the session's accumulated per-phase cycle totals.
+func (s *Session) Phases() multigpu.PhaseCycles { return s.loop.Phases() }
 
 // Close ends the stream and returns the run's metrics. The session cannot
 // be reused.

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"oovr/internal/core"
+	"oovr/internal/driver"
+	"oovr/internal/multigpu"
+	"oovr/internal/obs"
+	"oovr/internal/workload"
+)
+
+// TestTracingDoesNotPerturbGoldens is the determinism rule of DESIGN.md §12
+// made executable: installing a tracer must not change a single bit of the
+// simulation. It re-runs a golden configuration (HL2-1280, OOVR, streaming
+// path) with an active tracer and demands the pre-refactor fingerprint.
+func TestTracingDoesNotPerturbGoldens(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	obs.SetTracer(tr)
+	defer obs.SetTracer(nil)
+
+	c, ok := workload.CaseByName("HL2-1280")
+	if !ok {
+		t.Fatal("missing benchmark case HL2-1280")
+	}
+	p := core.NewOOVR()
+	st := c.Spec.Stream(c.Width, c.Height, 4, 1)
+	ses := driver.Open(multigpu.New(multigpu.DefaultOptions(), st.Header()), p)
+	frames := 0
+	for {
+		f, ok := st.Next()
+		if !ok {
+			break
+		}
+		ses.SubmitFrame(f)
+		frames++
+	}
+	m := ses.Close()
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("flush tracer: %v", err)
+	}
+
+	want := goldenFingerprints["HL2-1280"]["OOVR"]
+	if got := metricsFingerprint(m); got != want {
+		t.Errorf("traced run fingerprint %s, golden %s (tracing fed back into simulation state)", got, want)
+	}
+
+	// The trace itself must hold one well-formed frame event per frame, with
+	// the phase buckets present.
+	var events []map[string]any
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		if ev["kind"] == "frame" {
+			events = append(events, ev)
+		}
+	}
+	if len(events) != frames {
+		t.Fatalf("got %d frame events, want %d", len(events), frames)
+	}
+	for _, k := range []string{"scheme", "frame", "latency_cycles", "ship_cycles", "migrate_cycles", "execute_cycles", "compose_cycles"} {
+		if _, ok := events[0][k]; !ok {
+			t.Errorf("frame event missing field %q", k)
+		}
+	}
+}
+
+// TestPhaseBucketsCoverTheRun sanity-checks the phase accounting itself:
+// rendering work must land in the execute bucket and OO-VR's distribution
+// traffic in ship, with no negative buckets anywhere.
+func TestPhaseBucketsCoverTheRun(t *testing.T) {
+	c, ok := workload.CaseByName("DM3-640")
+	if !ok {
+		t.Fatal("missing benchmark case DM3-640")
+	}
+	sc := c.Spec.Generate(c.Width, c.Height, 4, 1)
+	sys := multigpu.New(multigpu.DefaultOptions(), sc)
+	driver.Run(sys, core.NewOOVR())
+	p := sys.Phases()
+	if p.Ship < 0 || p.Migrate < 0 || p.Execute < 0 || p.Compose < 0 {
+		t.Fatalf("negative phase bucket: %+v", p)
+	}
+	if p.Execute == 0 {
+		t.Error("execute bucket empty after a full run")
+	}
+	if p.Ship == 0 {
+		t.Error("ship bucket empty: OO-VR distributes object data every frame")
+	}
+	names := []string{"ship", "migrate", "execute", "compose"}
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if !strings.Contains(string(b), `"`+n+`"`) {
+			t.Errorf("PhaseCycles JSON missing %q key: %s", n, b)
+		}
+	}
+}

@@ -165,7 +165,8 @@ type Status struct {
 // needs no background timer — any worker poll, heartbeat or status probe
 // advances the failure bookkeeping.
 type Coordinator struct {
-	opt CoordinatorOptions
+	opt   CoordinatorOptions
+	start time.Time
 
 	mu        sync.Mutex
 	tasks     map[string]*task
@@ -176,15 +177,25 @@ type Coordinator struct {
 	nextSweep int64
 	counters  Counters
 	draining  bool
+
+	// The flight record (timeline.go): a bounded ring of lease-lifecycle
+	// events, plus last-contact times per worker for the health gauges.
+	events  []TimelineEvent
+	evNext  int
+	evSeq   int64
+	workers map[string]time.Time
 }
 
 // NewCoordinator returns an empty coordinator ready to mount.
 func NewCoordinator(opt CoordinatorOptions) *Coordinator {
+	opt = opt.defaults()
 	return &Coordinator{
-		opt:    opt.defaults(),
-		tasks:  map[string]*task{},
-		leases: map[int64]*leaseRec{},
-		sweeps: map[string][]string{},
+		opt:     opt,
+		start:   opt.now(),
+		tasks:   map[string]*task{},
+		leases:  map[int64]*leaseRec{},
+		sweeps:  map[string][]string{},
+		workers: map[string]time.Time{},
 	}
 }
 
@@ -229,6 +240,7 @@ func (c *Coordinator) SubmitJobs(jobs []spec.Job) (id string, total int, err err
 			c.tasks[key] = &task{hash: key, state: taskQuarantined, failure: herr.Error()}
 			c.counters.Submitted++
 			c.counters.Quarantined++
+			c.record("quarantine", key, "", 0, 0, herr.Error())
 			order = append(order, key)
 			continue
 		}
@@ -246,6 +258,7 @@ func (c *Coordinator) SubmitJobs(jobs []spec.Job) (id string, total int, err err
 		c.tasks[hash] = &task{hash: hash, spec: canon, state: taskPending, leases: map[int64]bool{}}
 		c.queue = append(c.queue, hash)
 		c.counters.Submitted++
+		c.record("submit", hash, "", 0, 0, "")
 		order = append(order, hash)
 	}
 	c.sweeps[id] = order
@@ -274,6 +287,7 @@ func (c *Coordinator) Lease(worker string) (*Grant, error) {
 	defer c.mu.Unlock()
 	now := c.opt.now()
 	c.reap(now)
+	c.touchWorker(worker)
 	if c.draining {
 		return nil, ErrDraining
 	}
@@ -299,6 +313,9 @@ func (c *Coordinator) Lease(worker string) (*Grant, error) {
 	c.counters.Dispatched++
 	if speculative {
 		c.counters.Speculative++
+		c.record("speculate", t.hash, worker, id, t.attempts, "")
+	} else {
+		c.record("lease", t.hash, worker, id, t.attempts, "")
 	}
 	return &Grant{
 		Lease:   id,
@@ -373,6 +390,8 @@ func (c *Coordinator) Renew(leaseID int64) error {
 		return ErrLeaseGone
 	}
 	l.deadline = now.Add(c.opt.LeaseTTL)
+	c.touchWorker(l.worker)
+	c.record("renew", l.hash, l.worker, leaseID, 0, "")
 	return nil
 }
 
@@ -390,9 +409,15 @@ func (c *Coordinator) Complete(leaseID int64, body []byte) (accepted bool, reaso
 	now := c.opt.now()
 	c.reap(now)
 
+	worker := ""
+	if l, ok := c.leases[leaseID]; ok {
+		worker = l.worker
+		c.touchWorker(worker)
+	}
 	hash, ierr := verifyResult(body)
 	if ierr != nil {
 		c.counters.Corrupt++
+		c.record("corrupt", "", worker, leaseID, 0, ierr.Error())
 		if l, ok := c.leases[leaseID]; ok {
 			c.failLocked(l.hash, leaseID, false, fmt.Sprintf("corrupt result: %v", ierr), now)
 		} else {
@@ -403,6 +428,7 @@ func (c *Coordinator) Complete(leaseID int64, body []byte) (accepted bool, reaso
 	t, ok := c.tasks[hash]
 	if !ok {
 		c.counters.Corrupt++
+		c.record("corrupt", hash, worker, leaseID, 0, "result addresses no known task")
 		return false, "integrity: result addresses no known task"
 	}
 	if l, ok := c.leases[leaseID]; ok && l.hash != hash {
@@ -411,11 +437,13 @@ func (c *Coordinator) Complete(leaseID int64, body []byte) (accepted bool, reaso
 		// its own (already-verified) merits below.
 		c.dropLease(leaseID)
 		c.counters.Corrupt++
+		c.record("corrupt", hash, worker, leaseID, 0, "result does not match the leased spec")
 		return false, "integrity: result does not match the leased spec"
 	}
 	c.dropLease(leaseID)
 	if t.state == taskDone {
 		c.counters.Duplicates++
+		c.record("duplicate", hash, worker, leaseID, 0, "")
 		return false, "duplicate"
 	}
 	// A valid Result beats a quarantine verdict that raced it: the
@@ -429,6 +457,7 @@ func (c *Coordinator) Complete(leaseID int64, body []byte) (accepted bool, reaso
 		delete(t.leases, id)
 	}
 	c.counters.Completed++
+	c.record("complete", hash, worker, leaseID, 0, "")
 	return true, ""
 }
 
@@ -481,6 +510,7 @@ func (c *Coordinator) Fail(leaseID int64, kind FailKind, msg string) {
 		c.counters.StaleReports++
 		return
 	}
+	c.touchWorker(l.worker)
 	c.failLocked(l.hash, leaseID, kind == FailResolve, msg, now)
 }
 
@@ -512,6 +542,7 @@ func (c *Coordinator) failLocked(hash string, leaseID int64, permanent bool, msg
 	}
 	t.notBefore = now.Add(delay)
 	c.counters.Retries++
+	c.record("retry", t.hash, "", leaseID, t.attempts, msg)
 	if len(t.leases) == 0 {
 		t.state = taskPending
 		c.queue = append(c.queue, t.hash)
@@ -527,6 +558,7 @@ func (c *Coordinator) quarantine(t *task, msg string) {
 		delete(t.leases, id)
 	}
 	c.counters.Quarantined++
+	c.record("quarantine", t.hash, "", 0, t.attempts, msg)
 }
 
 // dropLease forgets one lease on both sides. Called with mu held.
@@ -550,6 +582,7 @@ func (c *Coordinator) reap(now time.Time) {
 		t := c.tasks[l.hash]
 		delete(t.leases, id)
 		c.counters.Expirations++
+		c.record("expire", l.hash, l.worker, id, t.attempts, "")
 		if t.state == taskLeased && len(t.leases) == 0 {
 			t.state = taskPending
 			t.notBefore = now

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"oovr/internal/spec"
 )
@@ -21,6 +22,7 @@ import (
 //	                      → {"accepted": bool, "reason": ...}
 //	POST /fleet/fail      {"lease": id, "kind": "resolve"|"exec", "error": ...}
 //	GET  /fleet/collect?sweep=id → SweepStatus (results once done)
+//	GET  /fleet/timeline[?hash=&limit=] → [TimelineEvent, ...]
 //	GET  /fleet/status    → Status
 //
 // maxSweepBytes bounds one submitted sweep; it matches the job server's
@@ -71,6 +73,8 @@ func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		c.handleFail(w, r)
 	case "/fleet/collect":
 		c.handleCollect(w, r)
+	case "/fleet/timeline":
+		c.handleTimeline(w, r)
 	case "/fleet/status":
 		httpJSON(w, http.StatusOK, c.Status())
 	default:
@@ -170,6 +174,25 @@ func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
 	}
 	c.Fail(req.Lease, kind, req.Error)
 	httpJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleTimeline serves GET /fleet/timeline: the flight record, optionally
+// filtered to one spec (?hash=) and truncated to the newest N (?limit=).
+func (c *Coordinator) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if s := r.URL.Query().Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			httpJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("fleet: bad limit %q", s)})
+			return
+		}
+		limit = n
+	}
+	evs := c.Timeline(r.URL.Query().Get("hash"), limit)
+	if evs == nil {
+		evs = []TimelineEvent{}
+	}
+	httpJSON(w, http.StatusOK, evs)
 }
 
 func (c *Coordinator) handleCollect(w http.ResponseWriter, r *http.Request) {

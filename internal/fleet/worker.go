@@ -72,13 +72,15 @@ type Worker struct {
 
 // WorkerStats count a worker's lease outcomes.
 type WorkerStats struct {
-	Leases    atomic.Int64
-	Completed atomic.Int64
-	Failed    atomic.Int64
-	Rejected  atomic.Int64 // completions the coordinator did not accept
-	Crashes   atomic.Int64 // chaos
-	Stalls    atomic.Int64 // chaos
-	Corrupts  atomic.Int64 // chaos
+	Leases     atomic.Int64
+	Completed  atomic.Int64
+	Failed     atomic.Int64
+	Rejected   atomic.Int64 // completions the coordinator did not accept
+	Crashes    atomic.Int64 // chaos
+	Stalls     atomic.Int64 // chaos
+	Corrupts   atomic.Int64 // chaos
+	RPCRetries atomic.Int64 // coordinator RPCs re-sent after backoff
+	IdleSleeps atomic.Int64 // empty-queue polls that slept
 }
 
 func (w *Worker) logf(format string, args ...any) {
@@ -125,6 +127,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 		if g == nil {
 			idle++
+			w.Stats.IdleSleeps.Add(1)
 			sleep(ctx, w.IdleBackoff.Delay(idle-1))
 			continue
 		}
@@ -305,8 +308,11 @@ func (w *Worker) rpc(ctx context.Context, path string, payload any, handle func(
 	}
 	var last error
 	for attempt := 0; attempt < maxRPCAttempts; attempt++ {
-		if attempt > 0 && !sleep(ctx, w.RPCBackoff.Delay(attempt-1)) {
-			return ctx.Err()
+		if attempt > 0 {
+			w.Stats.RPCRetries.Add(1)
+			if !sleep(ctx, w.RPCBackoff.Delay(attempt-1)) {
+				return ctx.Err()
+			}
 		}
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+path, bytes.NewReader(reqBody))
 		if err != nil {

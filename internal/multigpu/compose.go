@@ -21,6 +21,7 @@ func (s *System) ComposeToRoot(root mem.GPMID) sim.Time {
 	// span lengthens the frame.
 	start := s.frameStart
 	end := s.maxNextFree()
+	renderEnd := end
 	var totalPixels float64
 	for g := 0; g < s.nGPM; g++ {
 		px := s.gpms[g].StagedPixels
@@ -47,6 +48,7 @@ func (s *System) ComposeToRoot(root mem.GPMID) sim.Time {
 	if e := s.rop[root].Reserve(start, totalPixels); e > end {
 		end = e
 	}
+	s.phases.Compose += end - renderEnd
 	s.advanceAll(end)
 	return end
 }
@@ -61,6 +63,7 @@ func (s *System) ComposeDistributed() sim.Time {
 	// every GPM's ROPs and links.
 	start := s.frameStart
 	end := s.maxNextFree()
+	renderEnd := end
 	n := float64(s.nGPM)
 	fsize := s.Mem.Segment(s.fbSeg).Size
 	ropPixels := s.ropScratch
@@ -95,6 +98,7 @@ func (s *System) ComposeDistributed() sim.Time {
 			end = e
 		}
 	}
+	s.phases.Compose += end - renderEnd
 	s.advanceAll(end)
 	return end
 }

@@ -191,7 +191,27 @@ type System struct {
 
 	frameLatency []sim.Time
 	frameStart   sim.Time
+
+	// phases accumulates the run's simulated cycles per frame phase
+	// (integer adds on paths already gated at 0 allocs/op).
+	phases PhaseCycles
 }
+
+// PhaseCycles breaks a run's simulated time into the frame phases: data
+// distribution (Ship), PA-unit pre-allocation (Migrate), rendering
+// (Execute — compute plus unhidden memory stall), and the cycles by which
+// composition extended frames beyond rendering (Compose; composition
+// overlaps rendering, so only its excess counts). Strictly observational:
+// nothing reads it back into the simulation.
+type PhaseCycles struct {
+	Ship    sim.Time `json:"ship"`
+	Migrate sim.Time `json:"migrate"`
+	Execute sim.Time `json:"execute"`
+	Compose sim.Time `json:"compose"`
+}
+
+// Phases returns the per-phase cycle totals accumulated so far.
+func (s *System) Phases() PhaseCycles { return s.phases }
 
 // noSegment marks an empty resident slot.
 const noSegment = mem.SegmentID(-1)
@@ -501,6 +521,7 @@ func (c *TaskContext) Ship() {
 		s.ship(g, orig, s.shipBudget[orig], task.ShipPersistent, c.start, &shipEnd)
 	}
 	s.shipIDs = ids[:0]
+	s.phases.Ship += shipEnd - c.start
 	if !task.Prefetch {
 		c.start = shipEnd
 	}
@@ -543,6 +564,7 @@ func (c *TaskContext) Migrate() {
 		}
 		migrate(s.vertexSegment(g, task, p.Object.Index))
 	}
+	s.phases.Migrate += migEnd - c.start
 	if !task.Prefetch {
 		c.start = migEnd
 	}
@@ -643,6 +665,7 @@ func (c *TaskContext) Execute() sim.Time {
 	s.gpms[gi].Busy += end - start
 	s.gpms[gi].NextFree = end
 	s.gpms[gi].Tasks++
+	s.phases.Execute += end - start
 	return end
 }
 

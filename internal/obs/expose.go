@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, one HELP and
+// TYPE line each, series sorted by label values, histogram buckets
+// cumulative with the implicit +Inf bucket plus _sum and _count.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+
+	// Hooks refresh push-style gauges before the snapshot; they run
+	// outside the registry lock so a hook may register nothing but may
+	// touch any instrument.
+	for _, h := range hooks {
+		h()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		f.writeSeries(bw)
+	}
+	return bw.Flush()
+}
+
+// Handler serves the exposition over HTTP — mount it at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+// writeSeries renders one family's concrete series.
+func (f *family) writeSeries(bw *bufio.Writer) {
+	switch {
+	case f.fn != nil:
+		writeSample(bw, f.name, "", nil, nil, f.fn())
+	case f.labels != nil:
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		series := make([]*serie, len(keys))
+		for i, k := range keys {
+			series[i] = f.series[k]
+		}
+		f.mu.Unlock()
+		for _, s := range series {
+			f.writeOne(bw, s)
+		}
+	default:
+		f.writeOne(bw, f.single)
+	}
+}
+
+// writeOne renders one series (all sample lines of a histogram).
+func (f *family) writeOne(bw *bufio.Writer, s *serie) {
+	switch f.kind {
+	case KindCounter:
+		writeSample(bw, f.name, "", f.labels, s.labelVals, float64(s.count.Load()))
+	case KindGauge:
+		writeSample(bw, f.name, "", f.labels, s.labelVals, math.Float64frombits(s.bits.Load()))
+	case KindHistogram:
+		// Buckets are stored disjoint and exposed cumulative; the +Inf
+		// bucket equals _count by construction.
+		var cum int64
+		for i := range f.bounds {
+			cum += s.hist[i].Load()
+			writeBucket(bw, f.name, f.labels, s.labelVals, formatFloat(f.bounds[i]), float64(cum))
+		}
+		cum += s.hist[len(f.bounds)].Load()
+		writeBucket(bw, f.name, f.labels, s.labelVals, "+Inf", float64(cum))
+		writeSample(bw, f.name, "_sum", f.labels, s.labelVals, math.Float64frombits(s.bits.Load()))
+		writeSample(bw, f.name, "_count", f.labels, s.labelVals, float64(s.count.Load()))
+	}
+}
+
+func writeBucket(bw *bufio.Writer, name string, labels, vals []string, le string, v float64) {
+	bw.WriteString(name)
+	bw.WriteString("_bucket{")
+	for i, l := range labels {
+		bw.WriteString(l)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabel(vals[i]))
+		bw.WriteString(`",`)
+	}
+	bw.WriteString(`le="`)
+	bw.WriteString(le)
+	bw.WriteString(`"} `)
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+func writeSample(bw *bufio.Writer, name, suffix string, labels, vals []string, v float64) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if len(labels) > 0 {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(vals[i]))
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var (
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+)
+
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

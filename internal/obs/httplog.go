@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"net/http"
+	"time"
+)
+
+// statusWriter captures the response status and size so the access log can
+// report them after the handler returns.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the wrapped writer when it streams.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// AccessLog wraps an HTTP handler with one structured log line per
+// request: method, path, status, response bytes, latency, and — when the
+// handler set one — the X-Oovrd-Cache disposition (hit/miss). logf is
+// typically log.Printf; requests also count into the optional vec (one
+// counter per path × status class) when non-nil.
+func AccessLog(next http.Handler, logf func(format string, args ...any), requests *CounterVec) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		if requests != nil {
+			// Unrouted paths collapse into one label value so a scanner
+			// probing random URLs cannot mint unbounded series.
+			path := r.URL.Path
+			if status == http.StatusNotFound {
+				path = "other"
+			}
+			requests.With(path, statusClass(status)).Inc()
+		}
+		if logf == nil {
+			return
+		}
+		cache := sw.Header().Get("X-Oovrd-Cache")
+		if cache == "" {
+			cache = "-"
+		}
+		logf("%s %s %d %dB %s cache=%s", r.Method, r.URL.Path, status,
+			sw.bytes, time.Since(start).Round(time.Microsecond), cache)
+	})
+}
+
+// statusClass buckets a status code ("2xx", "4xx", ...) to keep the
+// request-counter label cardinality bounded.
+func statusClass(code int) string {
+	switch {
+	case code < 200:
+		return "1xx"
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}

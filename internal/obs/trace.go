@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer writes structured events as JSON lines. Each line carries a wall
+// timestamp in milliseconds since the tracer opened ("t_ms"), the event
+// kind, and the caller's fields in order; events on the simulator's
+// virtual clock additionally carry a "cycles" field supplied by the
+// caller. A nil *Tracer is a valid no-op, so instrumented code guards with
+// a single nil check and pays nothing when tracing is off — which is the
+// default, keeping golden fingerprints untouched (the trace is observation
+// only; it must never feed back into simulation state).
+//
+// Events from concurrent runs interleave line-by-line (a mutex serializes
+// writers); consumers reconstruct per-run timelines from the identifying
+// fields (hash, scheme, worker, lease).
+type Tracer struct {
+	mu        sync.Mutex
+	w         *bufio.Writer
+	c         io.Closer
+	start     time.Time
+	buf       []byte
+	lastFlush time.Time
+}
+
+// flushEvery bounds how stale buffered events may get in a long-running
+// process: Emit flushes when this much wall time passed since the last
+// flush, so a daemon's trace file trails live activity by at most one
+// event, without paying a write syscall per line at high event rates.
+const flushEvery = time.Second
+
+// F is one event field: a key and any JSON-encodable value.
+type F struct {
+	K string
+	V any
+}
+
+// NewTracer starts a tracer writing JSONL to w. If w is an io.Closer,
+// Close closes it after the final flush.
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{w: bufio.NewWriter(w), start: time.Now()}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+// Emit writes one event line. Safe for concurrent use; a nil tracer
+// drops the event.
+func (t *Tracer) Emit(kind string, fields ...F) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ms := float64(time.Since(t.start).Microseconds()) / 1000
+	b := t.buf[:0]
+	b = append(b, `{"t_ms":`...)
+	b, _ = appendJSON(b, ms)
+	b = append(b, `,"kind":`...)
+	b, _ = appendJSON(b, kind)
+	for _, f := range fields {
+		b = append(b, ',')
+		b, _ = appendJSON(b, f.K)
+		b = append(b, ':')
+		var err error
+		if b, err = appendJSON(b, f.V); err != nil {
+			b = append(b, `"<unencodable>"`...)
+		}
+	}
+	b = append(b, '}', '\n')
+	t.buf = b
+	t.w.Write(b)
+	if now := time.Now(); now.Sub(t.lastFlush) >= flushEvery {
+		t.lastFlush = now
+		t.w.Flush()
+	}
+}
+
+// appendJSON appends v's compact JSON encoding to b.
+func appendJSON(b []byte, v any) ([]byte, error) {
+	enc, err := json.Marshal(v)
+	if err != nil {
+		return b, err
+	}
+	return append(b, enc...), nil
+}
+
+// Flush writes buffered events through to the underlying writer.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.w.Flush()
+}
+
+// Close flushes and, when the sink is a closer, closes it.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	if err := t.Flush(); err != nil {
+		return err
+	}
+	if t.c != nil {
+		return t.c.Close()
+	}
+	return nil
+}
+
+// active is the process-wide tracer instrumented packages consult. Nil
+// (the default) means tracing is off everywhere.
+var active atomic.Pointer[Tracer]
+
+// SetTracer installs t as the process-wide tracer (nil turns tracing off).
+// Installed once at startup by the -trace flag; instrumented code reads it
+// through Active.
+func SetTracer(t *Tracer) { active.Store(t) }
+
+// Active returns the installed tracer, or nil when tracing is off. The
+// returned value is safe to call Emit on either way.
+func Active() *Tracer { return active.Load() }

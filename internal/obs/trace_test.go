@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestTracerEmitJSONL(t *testing.T) {
+	var sink bytes.Buffer
+	tr := NewTracer(&sink)
+	tr.Emit("lease", F{"hash", "abc123"}, F{"worker", "w1"}, F{"attempt", 2})
+	tr.Emit("run_done", F{"cycles", 4096})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sink.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 JSONL lines, got %d: %q", len(lines), sink.String())
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 is not valid JSON: %v\n%s", err, lines[0])
+	}
+	if ev["kind"] != "lease" || ev["hash"] != "abc123" || ev["worker"] != "w1" || ev["attempt"] != float64(2) {
+		t.Errorf("unexpected event fields: %v", ev)
+	}
+	if _, ok := ev["t_ms"].(float64); !ok {
+		t.Errorf("event missing numeric t_ms: %v", ev)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatalf("line 1 is not valid JSON: %v\n%s", err, lines[1])
+	}
+	if ev["kind"] != "run_done" || ev["cycles"] != float64(4096) {
+		t.Errorf("unexpected event fields: %v", ev)
+	}
+}
+
+func TestTracerUnencodableField(t *testing.T) {
+	var sink bytes.Buffer
+	tr := NewTracer(&sink)
+	tr.Emit("x", F{"bad", func() {}})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var ev map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(sink.Bytes()), &ev); err != nil {
+		t.Fatalf("line with unencodable field is not valid JSON: %v\n%s", err, sink.String())
+	}
+	if ev["bad"] != "<unencodable>" {
+		t.Errorf("want placeholder for unencodable value, got %v", ev["bad"])
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Emit("x", F{"k", 1}) // must not panic
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetTracerRoundTrip(t *testing.T) {
+	if Active() != nil {
+		t.Fatal("tracing should be off by default")
+	}
+	tr := NewTracer(&bytes.Buffer{})
+	SetTracer(tr)
+	if Active() != tr {
+		t.Error("Active did not return the installed tracer")
+	}
+	SetTracer(nil)
+	if Active() != nil {
+		t.Error("SetTracer(nil) did not turn tracing off")
+	}
+}
+
+func TestAccessLog(t *testing.T) {
+	r := NewRegistry()
+	requests := r.NewCounterVec("oovr_http_requests_total", "", "path", "status")
+	var logged []string
+	logf := func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	}
+	h := AccessLog(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.HasSuffix(req.URL.Path, "missing") {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("X-Oovrd-Cache", "hit")
+		w.Write([]byte("ok"))
+	}), logf, requests)
+
+	for _, path := range []string{"/run", "/missing", "/also-missing"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	}
+
+	if len(logged) != 3 {
+		t.Fatalf("want 3 log lines, got %d: %v", len(logged), logged)
+	}
+	if !strings.HasPrefix(logged[0], "GET /run 200 ") || !strings.Contains(logged[0], "cache=hit") {
+		t.Errorf("unexpected access line: %q", logged[0])
+	}
+	if !strings.Contains(logged[1], " 404 ") || !strings.Contains(logged[1], "cache=-") {
+		t.Errorf("unexpected 404 line: %q", logged[1])
+	}
+	if got := requests.With("/run", "2xx").Value(); got != 1 {
+		t.Errorf("/run 2xx count = %d, want 1", got)
+	}
+	// 404s collapse into one series regardless of path.
+	if got := requests.With("other", "4xx").Value(); got != 2 {
+		t.Errorf("other 4xx count = %d, want 2", got)
+	}
+}

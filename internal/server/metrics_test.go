@@ -1,0 +1,133 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"oovr/internal/obs"
+	"oovr/internal/spec"
+)
+
+func newMeteredServer(t *testing.T) (*Server, *obs.Registry, *httptest.Server) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	s := New(Options{Workers: 2, CacheEntries: 64, Metrics: reg, Role: "coordinator"})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, reg, ts
+}
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	var sb strings.Builder
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}
+
+// TestMetricsEndpoint runs a spec twice and checks the scrape reflects the
+// miss, the hit, and one run-duration observation.
+func TestMetricsEndpoint(t *testing.T) {
+	_, _, ts := newMeteredServer(t)
+	rs := spec.RunSpec{Workload: spec.WorkloadRef{Name: "DM3-640"},
+		Scheduler: spec.SchedulerRef{Name: "baseline"}, Frames: 1, Seed: 7}
+	postSpec(t, ts.URL, rs)
+	postSpec(t, ts.URL, rs)
+
+	text := scrape(t, ts.URL)
+	for _, line := range []string{
+		"oovr_server_runs_total 1",
+		"oovr_server_cache_hits_total 1",
+		"oovr_server_cache_misses_total 1",
+		"oovr_server_run_duration_seconds_count 1",
+		"oovr_server_in_flight 0",
+		"# TYPE oovr_server_run_duration_seconds histogram",
+	} {
+		if !strings.Contains(text, line+"\n") {
+			t.Errorf("scrape missing %q:\n%s", line, text)
+		}
+	}
+}
+
+// TestMetricNamingScheme walks every name the server registers through the
+// scheme checker — the registry panics on violations, but this keeps the
+// contract visible and covers names added later.
+func TestMetricNamingScheme(t *testing.T) {
+	_, reg, _ := newMeteredServer(t)
+	names := reg.Names()
+	if len(names) == 0 {
+		t.Fatal("no metrics registered")
+	}
+	for _, n := range names {
+		if !strings.HasPrefix(n, "oovr_") {
+			t.Errorf("metric %q escapes the oovr_ namespace", n)
+		}
+	}
+}
+
+// TestHealthzEnriched pins the identity fields /healthz gained: role,
+// uptime, build info, in-flight count.
+func TestHealthzEnriched(t *testing.T) {
+	_, _, ts := newMeteredServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h["ok"] != true {
+		t.Errorf("healthz not ok: %v", h)
+	}
+	if h["role"] != "coordinator" {
+		t.Errorf("role = %v, want coordinator", h["role"])
+	}
+	if _, ok := h["uptime_seconds"].(float64); !ok {
+		t.Errorf("healthz missing uptime_seconds: %v", h)
+	}
+	if _, ok := h["in_flight"].(float64); !ok {
+		t.Errorf("healthz missing in_flight: %v", h)
+	}
+	if h["module"] != "oovr" {
+		t.Errorf("module = %v, want oovr", h["module"])
+	}
+	if h["spec_version"] == nil {
+		t.Errorf("healthz lost spec_version: %v", h)
+	}
+}
+
+// TestUnmeteredServerHasNoMetricsEndpoint: without a registry /metrics 404s
+// and nothing else changes.
+func TestUnmeteredServerHasNoMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/metrics without registry: HTTP %d, want 404", resp.StatusCode)
+	}
+}

@@ -32,8 +32,11 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
+	"oovr/internal/obs"
 	"oovr/internal/par"
 	"oovr/internal/service"
 	"oovr/internal/spec"
@@ -51,6 +54,14 @@ type Options struct {
 	// CacheEntries bounds the result cache; the oldest entry is evicted
 	// past it (0 = 4096, negative = caching disabled).
 	CacheEntries int
+	// Metrics, when non-nil, is the registry the server registers its
+	// instruments in and serves at GET /metrics. oovrd passes one shared
+	// registry so coordinator and worker state expose through the same
+	// endpoint; nil keeps the server unmetered (tests, embedding).
+	Metrics *obs.Registry
+	// Role names this process in /healthz and /metrics ("coordinator",
+	// "worker"; empty = "server").
+	Role string
 }
 
 func (o Options) defaults() Options {
@@ -59,6 +70,9 @@ func (o Options) defaults() Options {
 	}
 	if o.CacheEntries == 0 {
 		o.CacheEntries = 4096
+	}
+	if o.Role == "" {
+		o.Role = "server"
 	}
 	return o
 }
@@ -79,6 +93,10 @@ type Stats struct {
 	Errors int64 `json:"errors"`
 	// Evictions counts cache entries dropped by the size bound.
 	Evictions int64 `json:"evictions"`
+	// SingleFlightWaits counts submissions that found an identical spec
+	// already executing and waited on it instead of running again; they
+	// also count under CacheHits once the leader's bytes answer them.
+	SingleFlightWaits int64 `json:"single_flight_waits"`
 }
 
 // entry is one content-addressed cache slot. It is inserted before the run
@@ -94,6 +112,12 @@ type Server struct {
 	opt Options
 	mux *http.ServeMux
 	sem chan struct{} // bounds concurrently executing simulations
+
+	start time.Time
+
+	// runDur observes the wall-clock duration of every executed
+	// simulation; nil when Options.Metrics is.
+	runDur *obs.Histogram
 
 	mu    sync.Mutex
 	cache map[string]*entry
@@ -113,6 +137,7 @@ func New(opt Options) *Server {
 		opt:   opt.defaults(),
 		mux:   http.NewServeMux(),
 		cache: map[string]*entry{},
+		start: time.Now(),
 	}
 	s.sem = make(chan struct{}, s.opt.Workers)
 	s.mux.HandleFunc("/run", s.handleRun)
@@ -124,10 +149,72 @@ func New(opt Options) *Server {
 	s.mux.HandleFunc("/layouts", listHandler(spec.LayoutNames))
 	s.mux.HandleFunc("/topologies", listHandler(spec.TopologyNames))
 	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "spec_version": spec.CurrentVersion})
-	})
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	if m := s.opt.Metrics; m != nil {
+		s.registerMetrics(m)
+		s.mux.Handle("/metrics", m.Handler())
+	}
 	return s
+}
+
+// registerMetrics publishes the server's counters in m. The stats already
+// live behind the cache mutex, so they expose as functions sampled at
+// scrape time rather than a second set of counters to keep in sync.
+func (s *Server) registerMetrics(m *obs.Registry) {
+	statf := func(f func(Stats) int64) func() float64 {
+		return func() float64 { return float64(f(s.Stats())) }
+	}
+	m.NewCounterFunc("oovr_server_runs_total",
+		"Simulations executed (cache misses that ran).",
+		statf(func(st Stats) int64 { return st.Runs }))
+	m.NewCounterFunc("oovr_server_cache_hits_total",
+		"Submissions answered from stored bytes.",
+		statf(func(st Stats) int64 { return st.CacheHits }))
+	m.NewCounterFunc("oovr_server_cache_misses_total",
+		"Submissions that had to execute.",
+		statf(func(st Stats) int64 { return st.CacheMisses }))
+	m.NewCounterFunc("oovr_server_singleflight_waits_total",
+		"Submissions that waited on an identical in-flight spec.",
+		statf(func(st Stats) int64 { return st.SingleFlightWaits }))
+	m.NewCounterFunc("oovr_server_batches_total",
+		"Batch requests served.",
+		statf(func(st Stats) int64 { return st.Batches }))
+	m.NewCounterFunc("oovr_server_errors_total",
+		"Submissions rejected before or during execution.",
+		statf(func(st Stats) int64 { return st.Errors }))
+	m.NewCounterFunc("oovr_server_cache_evictions_total",
+		"Cache entries dropped by the size bound.",
+		statf(func(st Stats) int64 { return st.Evictions }))
+	m.NewGaugeFunc("oovr_server_in_flight",
+		"Simulations currently holding a worker-pool slot.",
+		func() float64 { return float64(len(s.sem)) })
+	s.runDur = m.NewHistogram("oovr_server_run_duration_seconds",
+		"Wall-clock duration of one executed simulation.", obs.DefBuckets)
+}
+
+// handleHealthz serves GET /healthz: liveness plus enough identity to tell
+// which process answered — role, uptime, build info, current load.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := map[string]any{
+		"ok":             true,
+		"spec_version":   spec.CurrentVersion,
+		"role":           s.opt.Role,
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"in_flight":      len(s.sem),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		h["go"] = bi.GoVersion
+		h["module"] = bi.Main.Path
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				h["revision"] = kv.Value
+			case "vcs.modified":
+				h["dirty"] = kv.Value == "true"
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 // ServeHTTP implements http.Handler.
@@ -160,14 +247,14 @@ func (s *Server) Result(ctx context.Context, rs spec.RunSpec) (body []byte, hash
 		s.mu.Lock()
 		s.stats.CacheMisses++
 		s.mu.Unlock()
-		body, err = s.resolveAndExecute(ctx, rs)
+		body, err = s.resolveAndExecute(ctx, rs, hash)
 		return body, hash, false, err
 	}
 
 	s.mu.Lock()
 	if e, ok := s.cache[hash]; ok {
 		s.mu.Unlock()
-		<-e.done
+		s.waitDone(e)
 		if e.err == nil {
 			// Counted only when stored bytes actually answer the
 			// submission; a follower of a failed in-flight run gets the
@@ -183,7 +270,7 @@ func (s *Server) Result(ctx context.Context, rs spec.RunSpec) (body []byte, hash
 	s.stats.CacheMisses++
 	s.mu.Unlock()
 
-	e.body, e.err = s.resolveAndExecute(ctx, rs)
+	e.body, e.err = s.resolveAndExecute(ctx, rs, hash)
 	s.mu.Lock()
 	if e.err != nil {
 		// Failed runs do not stay addressable; a corrected resubmission
@@ -195,6 +282,21 @@ func (s *Server) Result(ctx context.Context, rs spec.RunSpec) (body []byte, hash
 	s.mu.Unlock()
 	close(e.done)
 	return e.body, hash, false, e.err
+}
+
+// waitDone blocks until e's run finishes, counting the wait when the run
+// is still in flight — the single-flight followers the /stats and /metrics
+// single_flight_waits counters report.
+func (s *Server) waitDone(e *entry) {
+	select {
+	case <-e.done:
+		return
+	default:
+	}
+	s.mu.Lock()
+	s.stats.SingleFlightWaits++
+	s.mu.Unlock()
+	<-e.done
 }
 
 // remember enqueues a hash for FIFO eviction and applies the size bound.
@@ -236,17 +338,18 @@ func IsExecError(err error) bool {
 // panicking user-registered factory or simulation must neither wedge the
 // in-flight cache entry (its close would be skipped) nor crash a /batch
 // worker goroutine; it reports as a server-side error instead.
-func (s *Server) resolveAndExecute(ctx context.Context, rs spec.RunSpec) (body []byte, err error) {
+func (s *Server) resolveAndExecute(ctx context.Context, rs spec.RunSpec, hash string) (body []byte, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = execError{fmt.Errorf("run panicked: %v", p)}
 		}
 	}()
+	obs.Active().Emit("run_resolve", obs.F{K: "hash", V: hash})
 	run, err := rs.Resolve()
 	if err != nil {
 		return nil, err
 	}
-	return s.execute(ctx, run)
+	return s.execute(ctx, run, hash)
 }
 
 // execute runs one resolved spec under the worker pool and encodes its
@@ -255,7 +358,7 @@ func (s *Server) resolveAndExecute(ctx context.Context, rs spec.RunSpec) (body [
 // take a simulation slot for a result nobody will read, but once a run
 // holds a slot it completes (and lands in the cache) regardless — a
 // simulation cannot be unwound halfway.
-func (s *Server) execute(ctx context.Context, run *spec.Run) (body []byte, err error) {
+func (s *Server) execute(ctx context.Context, run *spec.Run, hash string) (body []byte, err error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("abandoned before execution: %w", err)
 	}
@@ -265,7 +368,15 @@ func (s *Server) execute(ctx context.Context, run *spec.Run) (body []byte, err e
 		return nil, fmt.Errorf("abandoned waiting for an execution slot: %w", ctx.Err())
 	}
 	defer func() { <-s.sem }()
+	obs.Active().Emit("run_execute", obs.F{K: "hash", V: hash})
+	t0 := time.Now()
 	m := run.Execute()
+	dur := time.Since(t0)
+	if s.runDur != nil {
+		s.runDur.Observe(dur.Seconds())
+	}
+	obs.Active().Emit("run_collect", obs.F{K: "hash", V: hash},
+		obs.F{K: "wall_ms", V: dur.Milliseconds()})
 	s.mu.Lock()
 	s.stats.Runs++
 	s.mu.Unlock()
@@ -297,14 +408,14 @@ func (s *Server) ServiceResult(ctx context.Context, sp spec.ServiceSpec) (body [
 		s.mu.Lock()
 		s.stats.CacheMisses++
 		s.mu.Unlock()
-		body, err = s.resolveAndExecuteService(ctx, sp)
+		body, err = s.resolveAndExecuteService(ctx, sp, hash)
 		return body, hash, false, err
 	}
 
 	s.mu.Lock()
 	if e, ok := s.cache[key]; ok {
 		s.mu.Unlock()
-		<-e.done
+		s.waitDone(e)
 		if e.err == nil {
 			s.mu.Lock()
 			s.stats.CacheHits++
@@ -317,7 +428,7 @@ func (s *Server) ServiceResult(ctx context.Context, sp spec.ServiceSpec) (body [
 	s.stats.CacheMisses++
 	s.mu.Unlock()
 
-	e.body, e.err = s.resolveAndExecuteService(ctx, sp)
+	e.body, e.err = s.resolveAndExecuteService(ctx, sp, hash)
 	s.mu.Lock()
 	if e.err != nil {
 		delete(s.cache, key)
@@ -332,7 +443,7 @@ func (s *Server) ServiceResult(ctx context.Context, sp spec.ServiceSpec) (body [
 // resolveAndExecuteService validates a service spec (client errors) and
 // simulates it (server errors), mirroring resolveAndExecute's phases and
 // panic containment.
-func (s *Server) resolveAndExecuteService(ctx context.Context, sp spec.ServiceSpec) (body []byte, err error) {
+func (s *Server) resolveAndExecuteService(ctx context.Context, sp spec.ServiceSpec, hash string) (body []byte, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = execError{fmt.Errorf("service run panicked: %v", p)}
@@ -340,6 +451,7 @@ func (s *Server) resolveAndExecuteService(ctx context.Context, sp spec.ServiceSp
 	}()
 	// The resolve phase: spec validation plus router resolution — every
 	// error a bad submission can cause, before any simulation starts.
+	obs.Active().Emit("run_resolve", obs.F{K: "hash", V: hash}, obs.F{K: "service", V: true})
 	n, err := sp.Normalized()
 	if err != nil {
 		return nil, err
@@ -359,10 +471,18 @@ func (s *Server) resolveAndExecuteService(ctx context.Context, sp spec.ServiceSp
 		return nil, fmt.Errorf("abandoned waiting for an execution slot: %w", ctx.Err())
 	}
 	defer func() { <-s.sem }()
+	obs.Active().Emit("run_execute", obs.F{K: "hash", V: hash}, obs.F{K: "service", V: true})
+	t0 := time.Now()
 	rep, err := service.Run(n, service.RunOptions{})
 	if err != nil {
 		return nil, execError{err}
 	}
+	dur := time.Since(t0)
+	if s.runDur != nil {
+		s.runDur.Observe(dur.Seconds())
+	}
+	obs.Active().Emit("run_collect", obs.F{K: "hash", V: hash},
+		obs.F{K: "service", V: true}, obs.F{K: "wall_ms", V: dur.Milliseconds()})
 	s.mu.Lock()
 	s.stats.Runs++
 	s.mu.Unlock()

@@ -1,0 +1,126 @@
+package service
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"oovr/internal/spec"
+)
+
+// telemetrized returns the shared small sweep with sampling switched on.
+func telemetrized(sampleMs float64) spec.ServiceSpec {
+	sp := smallSpec()
+	sp.Telemetry = &spec.TelemetryRef{SampleMs: sampleMs}
+	return sp
+}
+
+// TestTelemetryDoesNotPerturbDraws is the spec-flag contract: switching
+// sampling on must leave every simulated number byte-identical — only the
+// Samples series may differ.
+func TestTelemetryDoesNotPerturbDraws(t *testing.T) {
+	plain, err := Run(smallSpec(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := Run(telemetrized(50), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Cells) != len(sampled.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(plain.Cells), len(sampled.Cells))
+	}
+	for i := range sampled.Cells {
+		if len(sampled.Cells[i].Samples) == 0 {
+			t.Errorf("cell %d: telemetry on but no samples", i)
+		}
+		stripped := sampled.Cells[i]
+		stripped.Samples = nil
+		if !reflect.DeepEqual(stripped, plain.Cells[i]) {
+			t.Errorf("cell %d: simulated numbers drifted under telemetry:\nplain   %+v\nsampled %+v",
+				i, plain.Cells[i], stripped)
+		}
+	}
+	if plain.SpecHash == sampled.SpecHash {
+		t.Error("telemetry must participate in the content address: hashes equal")
+	}
+}
+
+// TestTelemetrySamplesDeterministic pins that the series itself reproduces
+// exactly, serially and in parallel.
+func TestTelemetrySamplesDeterministic(t *testing.T) {
+	a, err := Run(telemetrized(25), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(telemetrized(25), RunOptions{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, _ := a.Encode()
+	bb, _ := b.Encode()
+	if string(ba) != string(bb) {
+		t.Errorf("sampled reports not byte-identical across runs:\n%s\n%s", ba, bb)
+	}
+	for ci, c := range a.Cells {
+		last := -1.0
+		for _, s := range c.Samples {
+			if s.TMs <= last {
+				t.Fatalf("cell %d: sample instants not strictly increasing: %g after %g", ci, s.TMs, last)
+			}
+			last = s.TMs
+			if s.Active < 0 || s.MaxBacklogMs < 0 || s.P99Ms < 0 {
+				t.Errorf("cell %d: negative sample field: %+v", ci, s)
+			}
+		}
+	}
+}
+
+// TestTelemetryCellSeedUnchanged pins the fold-out: a cell spec draws the
+// same seed with and without telemetry, while its content address differs.
+func TestTelemetryCellSeedUnchanged(t *testing.T) {
+	cells, err := CellSpecs(telemetrized(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cells {
+		if c.Telemetry == nil {
+			t.Fatalf("cell %d lost the telemetry block in expansion", i)
+		}
+		bare := c
+		bare.Telemetry = nil
+		sa, err := c.CellSeed()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := bare.CellSeed()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sa != sb {
+			t.Errorf("cell %d: CellSeed changed under telemetry: %d vs %d", i, sa, sb)
+		}
+		ha, _ := c.Hash()
+		hb, _ := bare.Hash()
+		if ha == hb {
+			t.Errorf("cell %d: Hash ignored telemetry", i)
+		}
+	}
+}
+
+// TestTelemetryAbsentFromCanonicalWhenNil pins backwards compatibility: a
+// spec without telemetry canonicalizes to bytes that never mention it, so
+// every pre-existing content address is untouched.
+func TestTelemetryAbsentFromCanonicalWhenNil(t *testing.T) {
+	b, err := smallSpec().Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "telemetry") {
+		t.Errorf("nil telemetry leaked into the canonical form: %s", b)
+	}
+	if err := (spec.ServiceSpec{ServiceVersion: 1, Telemetry: &spec.TelemetryRef{}}).Validate(); err == nil ||
+		!strings.Contains(err.Error(), "sample_ms") {
+		t.Errorf("zero sample_ms accepted: %v", err)
+	}
+}

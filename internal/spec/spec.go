@@ -226,6 +226,11 @@ type Run struct {
 	Planner driver.Planner
 	// Options are the explicit simulator options.
 	Options multigpu.Options
+	// Phases is the executed run's per-phase cycle breakdown, populated by
+	// Execute. Purely observational — it rides alongside Metrics and never
+	// enters the canonical Result encoding, so content addresses and golden
+	// fingerprints are untouched.
+	Phases multigpu.PhaseCycles
 
 	layout LayoutFunc
 }
@@ -339,12 +344,16 @@ func (r *Run) Execute() multigpu.Metrics {
 			}
 			ses.SubmitFrame(f)
 		}
-		return ses.Close()
+		m := ses.Close()
+		r.Phases = ses.Phases()
+		return m
 	}
 	sc := c.Spec.Generate(c.Width, c.Height, r.Spec.Frames, r.Spec.Seed)
 	sys := multigpu.New(r.Options, sc)
 	r.layout(sys)
-	return driver.Run(sys, r.Planner)
+	m := driver.Run(sys, r.Planner)
+	r.Phases = sys.Phases()
+	return m
 }
 
 // Run resolves and executes the spec in one call.

@@ -1,19 +1,26 @@
 // Command fleetsmoke rehearses the fleet with real processes: it builds
-// cmd/oovrd, starts a coordinator and two workers as separate OS
-// processes, submits the full oovrfigures job matrix, SIGKILLs one worker
-// mid-sweep, and requires the sweep to finish anyway — every Result
-// re-verified against its content address and byte-identical to executing
-// the same specs in-process. It then SIGTERMs the survivors and checks
-// they drain cleanly. CI runs it as the fleet-chaos smoke; locally:
+// cmd/oovrd, starts a coordinator and three workers as separate OS
+// processes — one of them a chronic straggler via -chaos stall — submits
+// the full oovrfigures job matrix, SIGKILLs one worker mid-sweep, and
+// requires the sweep to finish anyway — every Result re-verified against
+// its content address and byte-identical to executing the same specs
+// in-process. Along the way it scrapes the coordinator's /metrics and
+// /fleet/timeline and requires the flight record to show the chaos it
+// caused: nonzero lease expirations (the kill) and speculative re-issues
+// (the straggler). It then SIGTERMs the survivors and checks they drain
+// cleanly. CI runs it as the fleet-chaos smoke; locally:
 //
 //	go run ./scripts/fleetsmoke
 //
-// A non-zero exit means the fleet lost, corrupted, or duplicated work.
+// A non-zero exit means the fleet lost, corrupted, duplicated work — or
+// flew blind through the chaos without recording it.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -22,6 +29,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -56,8 +65,11 @@ func main() {
 	}
 
 	addr, url := freeAddr()
-	// A short lease so the killed worker's in-flight spec re-queues fast.
-	coord := start(ctx, *bin, "-addr", addr, "-lease", "2s", "-drain", "10s")
+	// A short lease so the killed worker's in-flight spec re-queues fast,
+	// and so the straggler threshold (4×lease = 2s) lands well inside w3's
+	// 3s chaos stalls — the sweep must exercise speculation, not just
+	// expiry.
+	coord := start(ctx, *bin, "-addr", addr, "-lease", "500ms", "-drain", "10s")
 	defer coord.Process.Kill()
 	waitUp(ctx, url+"/stats")
 	log.Printf("coordinator up on %s", url)
@@ -66,6 +78,11 @@ func main() {
 	defer w1.Process.Kill()
 	w2 := start(ctx, *bin, "-worker", "-coordinator", url, "-name", "w2", "-workers", "2")
 	defer w2.Process.Kill()
+	// w3 stalls on every lease: it keeps heartbeating but delivers late,
+	// so the coordinator must speculatively re-issue its specs.
+	w3 := start(ctx, *bin, "-worker", "-coordinator", url, "-name", "w3", "-workers", "1",
+		"-chaos", "stall=1,seed=7")
+	defer w3.Process.Kill()
 
 	specs := experiments.SpecMatrix(experiments.Options{}, nil)
 	log.Printf("submitting %d specs", len(specs))
@@ -104,6 +121,14 @@ func main() {
 	}
 	w2.Wait()
 
+	// Mid-chaos observation: the flight recorder must be scrapeable while
+	// the fleet is in trouble, not only after it recovers.
+	time.Sleep(1500 * time.Millisecond)
+	mid := scrapeMetrics(url)
+	log.Printf("mid-chaos: dispatched=%g expirations=%g speculative=%g pending=%g leased=%g",
+		mid["oovr_fleet_dispatched_total"], mid["oovr_fleet_expirations_total"],
+		mid["oovr_fleet_speculative_total"], mid["oovr_fleet_pending"], mid["oovr_fleet_leased"])
+
 	bodies, err := client.Wait(ctx, sweep)
 	if err != nil {
 		log.Fatalf("sweep: %v", err)
@@ -126,11 +151,32 @@ func main() {
 	}
 	log.Printf("%d/%d results hash-verified and byte-identical to local execution", len(bodies), len(specs))
 
+	// The flight record must show the chaos this run caused: w2's SIGKILL
+	// abandoned live leases (expirations), and w3's stalls forced
+	// speculative re-issues.
+	final := scrapeMetrics(url)
+	if final["oovr_fleet_expirations_total"] <= 0 {
+		log.Fatalf("oovr_fleet_expirations_total = %g after killing a worker holding leases",
+			final["oovr_fleet_expirations_total"])
+	}
+	if final["oovr_fleet_speculative_total"] <= 0 {
+		log.Fatalf("oovr_fleet_speculative_total = %g with a chronic straggler in the fleet",
+			final["oovr_fleet_speculative_total"])
+	}
+	kinds := timelineKinds(url)
+	for _, want := range []string{"submit", "lease", "complete", "expire", "speculate"} {
+		if !kinds[want] {
+			log.Fatalf("timeline has no %q event (kinds seen: %v)", want, kinds)
+		}
+	}
+	log.Printf("flight record: expirations=%g speculative=%g, timeline kinds %v",
+		final["oovr_fleet_expirations_total"], final["oovr_fleet_speculative_total"], kinds)
+
 	// Graceful drain: the survivors must exit cleanly on SIGTERM.
 	for _, p := range []struct {
 		name string
 		cmd  *exec.Cmd
-	}{{"w1", w1}, {"coordinator", coord}} {
+	}{{"w1", w1}, {"w3", w3}, {"coordinator", coord}} {
 		p.cmd.Process.Signal(syscall.SIGTERM)
 		if err := waitFor(p.cmd, 15*time.Second); err != nil {
 			log.Fatalf("%s did not drain cleanly: %v", p.name, err)
@@ -177,6 +223,54 @@ func waitUp(ctx context.Context, url string) {
 		time.Sleep(100 * time.Millisecond)
 	}
 	log.Fatalf("coordinator never answered on %s", url)
+}
+
+// scrapeMetrics pulls GET /metrics and returns every unlabeled series as
+// name → value (labeled series are skipped; the assertions here only need
+// the fleet totals).
+func scrapeMetrics(url string) map[string]float64 {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		log.Fatalf("scrape /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok || strings.Contains(name, "{") {
+			continue
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			log.Fatalf("unparsable metric line %q: %v", line, err)
+		}
+		out[name] = f
+	}
+	return out
+}
+
+// timelineKinds pulls GET /fleet/timeline and returns the set of event
+// kinds the flight record holds.
+func timelineKinds(url string) map[string]bool {
+	resp, err := http.Get(url + "/fleet/timeline")
+	if err != nil {
+		log.Fatalf("scrape /fleet/timeline: %v", err)
+	}
+	defer resp.Body.Close()
+	var events []fleet.TimelineEvent
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		log.Fatalf("decode timeline: %v", err)
+	}
+	kinds := map[string]bool{}
+	for _, ev := range events {
+		kinds[ev.Kind] = true
+	}
+	return kinds
 }
 
 func waitFor(cmd *exec.Cmd, timeout time.Duration) error {
