@@ -168,13 +168,17 @@ func serve(ctx context.Context, addr string, workers, cache int, lease, drain ti
 	case <-ctx.Done():
 	}
 	fmt.Println("oovrd draining")
+	obs.Active().Emit("shutdown", obs.F{K: "role", V: "coordinator"})
 	coord.Drain()
 	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
-	return nil
+	// The tracer autoflushes at most once a second; a drain shorter than
+	// that window would otherwise lose the tail events (including the
+	// shutdown marker above) between here and process exit.
+	return obs.Active().Flush()
 }
 
 // runWorker pulls leased specs from the coordinator and executes them
@@ -233,5 +237,12 @@ func runWorker(ctx context.Context, coordinator, name, chaosFlag string, workers
 		fmt.Printf("oovrd worker metrics on %s\n", obsAddr)
 	}
 	fmt.Printf("oovrd worker %s pulling from %s (%d slots, chaos %q)\n", name, coordinator, workers, chaosFlag)
-	return w.Run(ctx)
+	err = w.Run(ctx)
+	// Flush the trace tail for the same reason serve does: the final
+	// lease's events may still sit inside the 1s autoflush window.
+	obs.Active().Emit("shutdown", obs.F{K: "role", V: "worker"})
+	if ferr := obs.Active().Flush(); err == nil {
+		err = ferr
+	}
+	return err
 }

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestGracefulShutdownFlushesTrace builds the daemon, starts it with
+// -trace, sends SIGTERM mid-flight, and asserts the shutdown marker —
+// emitted inside the tracer's 1s autoflush window — made it to disk.
+// Without the drain-path Flush the tail of the trace is lost.
+func TestGracefulShutdownFlushesTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "oovrd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-trace", tracePath, "-quiet")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the listener banner, then keep draining the pipe so the
+	// daemon never blocks on a full stdout buffer.
+	listening := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if strings.Contains(sc.Text(), "listening") {
+				close(listening)
+				for sc.Scan() {
+				}
+				return
+			}
+		}
+	}()
+	select {
+	case <-listening:
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("daemon never reported listening")
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(trace, []byte(`"kind":"shutdown"`)) {
+		t.Fatalf("trace file lacks the shutdown tail event (drain did not flush):\n%s", trace)
+	}
+}

@@ -42,6 +42,8 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
@@ -72,8 +74,9 @@ func main() {
 	fleetURL := flag.String("fleet", "", "execute via the fleet coordinator at this base URL instead of in-process")
 	dumpSpec := flag.Bool("dump-spec", false, "print the run's RunSpec (JSON) and exit without simulating")
 	jsonOut := flag.Bool("json", false, "with -service: print the canonical Report JSON instead of the table")
-	verbose := flag.Bool("v", false, "also print the frame-phase breakdown and per-link interconnect statistics")
+	verbose := flag.Bool("v", false, "also print the frame-phase breakdown, sim-time occupancy and per-link interconnect statistics")
 	tracePath := flag.String("trace", "", "append structured JSONL trace events (run lifecycle, per-frame phases) to this file")
+	timelinePath := flag.String("timeline", "", "write the run's simulated-time execution trace (Chrome trace-event / Perfetto JSON) to this file")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "unexpected arguments:", flag.Args())
@@ -91,11 +94,14 @@ func main() {
 	}
 
 	if *servicePath != "" {
-		runService(*servicePath, *fleetURL, *parallel, *jsonOut)
+		runService(*servicePath, *fleetURL, *parallel, *jsonOut, *timelinePath)
 		return
 	}
 	if *jsonOut {
 		fail(fmt.Errorf("-json applies to -service runs"))
+	}
+	if *timelinePath != "" && *all {
+		fail(fmt.Errorf("-timeline records one run; drop -all or pick one scheduler"))
 	}
 
 	// The flags translate to a RunSpec; -spec short-circuits the
@@ -127,6 +133,13 @@ func main() {
 		}
 	}
 
+	// -timeline asks the run to record; plain -v gets a free local
+	// recording too (for the occupancy table) but must not leak the knob
+	// into -dump-spec output or fleet submissions it wasn't asked for.
+	if *timelinePath != "" || (*verbose && !*all && *fleetURL == "" && !*dumpSpec) {
+		base.Timeline = true
+	}
+
 	specs := []spec.RunSpec{base}
 	if *all {
 		names := spec.PlannerNames()
@@ -156,6 +169,7 @@ func main() {
 	}
 
 	ms := make([]multigpu.Metrics, len(specs))
+	var fleetTimeline []byte
 	if *fleetURL != "" {
 		// The coordinator shards the sweep across its workers; results come
 		// back in submission order and are re-verified against their content
@@ -172,6 +186,9 @@ func main() {
 				fail(err)
 			}
 			ms[i] = res.Metrics
+			if i == 0 {
+				fleetTimeline = res.Timeline
+			}
 		}
 	} else {
 		// Each scheduler simulates on its own system, so the comparison rows
@@ -199,12 +216,54 @@ func main() {
 		}
 		return
 	}
+	if *timelinePath != "" {
+		enc := fleetTimeline
+		if *fleetURL == "" {
+			enc = runs[0].Timeline.EncodeTraceEvents()
+		} else if len(enc) == 0 {
+			fail(fmt.Errorf("fleet result carried no timeline (worker predates the timeline knob?)"))
+		}
+		if err := writeTimeline(*timelinePath, enc); err != nil {
+			fail(err)
+		}
+	}
+
 	printMetrics(ms[0])
 	if *verbose {
 		if *fleetURL == "" {
 			printPhases(runs[0].Phases)
+			printUtilization(runs[0].Timeline)
 		}
 		printLinks(ms[0])
+	}
+}
+
+// writeTimeline stores an encoded trace-event document and prints where
+// it went plus its fingerprint (what the golden smoke test pins).
+func writeTimeline(path string, enc []byte) error {
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		return err
+	}
+	sum := sha256.Sum256(enc)
+	fmt.Printf("timeline:          %s (%d bytes, sha256 %s)\n", path, len(enc), hex.EncodeToString(sum[:])[:16])
+	return nil
+}
+
+// printUtilization renders the derived sim-time occupancy: each lane's
+// busy fraction over 8 windows of the recorded horizon. Lanes that never
+// carried a span are omitted.
+func printUtilization(tl *obs.Timeline) {
+	utils, horizon := tl.Utilization(8)
+	if len(utils) == 0 {
+		return
+	}
+	fmt.Printf("sim-time occupancy (8 windows over %.0f µs):\n", horizon)
+	for _, u := range utils {
+		fmt.Printf("  %-16s", u.Proc+"/"+u.Lane)
+		for _, b := range u.Busy {
+			fmt.Printf(" %3.0f%%", 100*b)
+		}
+		fmt.Println()
 	}
 }
 
@@ -232,7 +291,7 @@ func printPhases(p multigpu.PhaseCycles) {
 // -json, the canonical Report bytes. Both paths produce byte-identical
 // Reports: cells are content-addressed and every random draw derives from
 // the cell spec itself.
-func runService(path, fleetURL string, parallel int, jsonOut bool) {
+func runService(path, fleetURL string, parallel int, jsonOut bool, timelinePath string) {
 	f, err := os.Open(path)
 	if err != nil {
 		fail(err)
@@ -243,15 +302,46 @@ func runService(path, fleetURL string, parallel int, jsonOut bool) {
 		fail(err)
 	}
 
+	var tl *obs.Timeline
+	opt := service.RunOptions{Parallel: parallel}
+	if timelinePath != "" {
+		if fleetURL != "" {
+			fail(fmt.Errorf("-timeline on a service run records in-process; drop -fleet"))
+		}
+		cells, err := service.CellSpecs(sp)
+		if err != nil {
+			fail(err)
+		}
+		if len(cells) != 1 {
+			fail(fmt.Errorf("-timeline records one cell; the spec sweeps %d", len(cells)))
+		}
+		tl = obs.NewTimeline()
+		opt.CellRunner = func(cs spec.ServiceSpec) (service.CellReport, error) {
+			c, err := service.OpenCell(cs)
+			if err != nil {
+				return service.CellReport{}, err
+			}
+			c.AttachTimeline(tl)
+			for c.Step() {
+			}
+			return c.Report(), nil
+		}
+	}
+
 	var rep service.Report
 	if fleetURL != "" {
 		c := &fleet.Client{URL: strings.TrimRight(fleetURL, "/")}
 		rep, err = c.RunService(context.Background(), sp)
 	} else {
-		rep, err = service.Run(sp, service.RunOptions{Parallel: parallel})
+		rep, err = service.Run(sp, opt)
 	}
 	if err != nil {
 		fail(err)
+	}
+	if tl != nil {
+		if err := writeTimeline(timelinePath, tl.EncodeTraceEvents()); err != nil {
+			fail(err)
+		}
 	}
 
 	if jsonOut {

@@ -155,6 +155,10 @@ type FrameLoop struct {
 	// depth frames, enough to enforce the frames-in-flight bound without
 	// growing state over an unbounded stream. Unused at depth 1.
 	ends []sim.Time
+	// tl mirrors the system's timeline recorder: when attached, the loop
+	// brackets each frame with a span on a "driver/frames" lane.
+	tl       *obs.Timeline
+	tlFrames obs.LaneID
 }
 
 // NewFrameLoop binds a planner to a system.
@@ -164,11 +168,16 @@ func NewFrameLoop(sys *multigpu.System, p Planner) *FrameLoop {
 	if depth < 1 {
 		depth = 1
 	}
-	return &FrameLoop{
+	l := &FrameLoop{
 		sys: sys, fp: fp, name: p.Name(), depth: depth,
 		vcaps: sys.Scene().VertexCapacities(),
 		ends:  make([]sim.Time, depth),
 	}
+	if tl := sys.Timeline(); tl != nil {
+		l.tl = tl
+		l.tlFrames = tl.AddLane("driver", "frames", sys.Options().Config.ClockGHz*1000)
+	}
+	return l
 }
 
 // Depth returns the effective frames-in-flight depth.
@@ -256,10 +265,18 @@ func (l *FrameLoop) RunFrame(f *scene.Frame) sim.Time {
 		}
 		l.sys.RecordFrameLatency(frameEnd - frameStart)
 		l.ends[fi%l.depth] = frameEnd
+		if l.tl != nil {
+			l.tl.Span(l.tlFrames, "frame", int64(frameStart), int64(frameEnd),
+				obs.Arg{K: "frame", V: int64(fi)}, obs.Arg{K: "latency", V: int64(frameEnd - frameStart)})
+		}
 		l.traceFrame(fi, frameEnd-frameStart, phasesBefore)
 		return frameEnd
 	}
 	end := l.sys.EndFrame()
+	if l.tl != nil {
+		l.tl.Span(l.tlFrames, "frame", int64(barrierStart), int64(end),
+			obs.Arg{K: "frame", V: int64(fi)}, obs.Arg{K: "latency", V: int64(end - barrierStart)})
+	}
 	l.traceFrame(fi, end-barrierStart, phasesBefore)
 	return end
 }

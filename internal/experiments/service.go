@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"strconv"
+	"time"
 
+	"oovr/internal/obs"
 	"oovr/internal/service"
 	"oovr/internal/spec"
 	"oovr/internal/stats"
@@ -47,18 +49,32 @@ func fsSpec(scheduler string, seed int64) spec.ServiceSpec {
 // default, or o.ServiceRunner (a fleet) when set. Reports are
 // content-addressed per cell, so a remote runner returns byte-identical
 // cells to a local one, and a failure invalidates the figure the same way a
-// runCase failure does.
+// runCase failure does. Lifecycle events report to the process tracer
+// (-trace) like runCase's do.
 func (o Options) runService(sp spec.ServiceSpec) service.Report {
-	if o.ServiceRunner != nil {
-		rep, err := o.ServiceRunner(sp)
-		if err != nil {
-			panic(err)
-		}
-		return rep
+	tr := obs.Active()
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+		tr.Emit("service_run",
+			obs.F{K: "scheduler", V: sp.Scheduler.Name},
+			obs.F{K: "remote", V: o.ServiceRunner != nil})
 	}
-	rep, err := service.Run(sp, service.RunOptions{Parallel: o.Parallel})
+	var rep service.Report
+	var err error
+	if o.ServiceRunner != nil {
+		rep, err = o.ServiceRunner(sp)
+	} else {
+		rep, err = service.Run(sp, service.RunOptions{Parallel: o.Parallel})
+	}
 	if err != nil {
 		panic(err)
+	}
+	if tr != nil {
+		tr.Emit("service_done",
+			obs.F{K: "scheduler", V: sp.Scheduler.Name},
+			obs.F{K: "cells", V: len(rep.Cells)},
+			obs.F{K: "wall_ms", V: time.Since(t0).Milliseconds()})
 	}
 	return rep
 }
@@ -95,17 +111,27 @@ func FSCapacity(o Options) stats.Figure {
 		vals := make([]float64, len(counts))
 		// Cells are the NodeSweep x LambdaSweep cross product, row-major
 		// with λ innermost (service.CellSpecs order).
+		utils := make([]float64, len(counts))
 		for ni := range counts {
-			held := 0
+			held, bestLi := 0, -1
 			for li := range lambdas {
 				c := rep.Cells[ni*len(lambdas)+li]
 				if c.SLOMet && c.PeakSessions > held {
-					held = c.PeakSessions
+					held, bestLi = c.PeakSessions, li
 				}
 			}
 			vals[ni] = float64(held)
+			if bestLi >= 0 {
+				utils[ni] = stats.Mean(rep.Cells[ni*len(lambdas)+bestLi].NodeUtilization)
+			}
 		}
 		fig.AddSeries(plannerLabel(s), vals)
+		// Mean node occupancy at each size's capacity point: how busy the
+		// GPUs are when the cluster is holding its peak load. A scheduler
+		// that holds more sessions at the *same* occupancy is genuinely
+		// cheaper per frame, not just admitted into more headroom. Read from
+		// the capacity sweep's own reports — no extra simulations.
+		fig.AddSeries(plannerLabel(s)+" node util", utils)
 	}
 	return fig
 }

@@ -178,13 +178,22 @@ func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
 
 // handleTimeline serves GET /fleet/timeline: the flight record, optionally
 // filtered to one spec (?hash=) and truncated to the newest N (?limit=).
+// A present limit clamps to [1, timelineCap] — zero and negative values
+// would otherwise fall through as "everything", surprising a caller who
+// asked for nothing; only a non-integer is the caller's error (400).
 func (c *Coordinator) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	limit := 0
 	if s := r.URL.Query().Get("limit"); s != "" {
 		n, err := strconv.Atoi(s)
-		if err != nil || n < 0 {
+		if err != nil {
 			httpJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("fleet: bad limit %q", s)})
 			return
+		}
+		if n < 1 {
+			n = 1
+		}
+		if n > timelineCap {
+			n = timelineCap
 		}
 		limit = n
 	}

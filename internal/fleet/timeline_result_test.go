@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"oovr/internal/multigpu"
+	"oovr/internal/server"
+	"oovr/internal/spec"
+)
+
+// timelineRunSpec mirrors the x-ray acceptance target: HL2-1280 / OO-VR /
+// ring with the Timeline knob set.
+func timelineRunSpec() spec.RunSpec {
+	opt := multigpu.DefaultOptions()
+	opt.Config = opt.Config.WithTopology("ring")
+	return spec.RunSpec{
+		Workload:  spec.WorkloadRef{Name: "HL2-1280"},
+		Scheduler: spec.SchedulerRef{Name: "oovr"},
+		Hardware:  &opt,
+		Frames:    4,
+		Seed:      1,
+		Stream:    true,
+		Timeline:  true,
+	}
+}
+
+// TestTimelineByteIdenticalAcrossFleet pins the acceptance criterion: the
+// trace-event document a fleet-executed Result carries is byte-identical
+// to a local in-process recording — the encoder's compact pre-escaped
+// output survives the Result marshal/unmarshal round-trip untouched.
+func TestTimelineByteIdenticalAcrossFleet(t *testing.T) {
+	rs := timelineRunSpec()
+
+	// Local reference: resolve and execute in-process, encode directly.
+	run, err := rs.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Execute()
+	local := run.Timeline.EncodeTraceEvents()
+	if len(local) == 0 {
+		t.Fatal("local run recorded nothing")
+	}
+
+	// Fleet path: coordinator + one worker over real HTTP, the worker
+	// executing through the same server seam oovrd uses.
+	coord := NewCoordinator(CoordinatorOptions{LeaseTTL: 2 * time.Second})
+	ts := httptest.NewServer(coord)
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	workerCtx, stopWorker := context.WithCancel(ctx)
+	defer stopWorker()
+
+	exec := server.New(server.Options{Workers: 2, CacheEntries: 128})
+	w := &Worker{
+		Coordinator: ts.URL,
+		Name:        "tl",
+		Logf:        t.Logf,
+		Exec: func(rs spec.RunSpec) ([]byte, error) {
+			body, _, _, err := exec.Result(context.Background(), rs)
+			if err != nil && !server.IsExecError(err) {
+				return nil, Permanent(err)
+			}
+			return body, err
+		},
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := w.Run(workerCtx); err != nil {
+			t.Errorf("worker: %v", err)
+		}
+	}()
+
+	client := &Client{URL: ts.URL, Poll: 20 * time.Millisecond}
+	bodies, err := client.RunMatrix(ctx, []spec.RunSpec{rs})
+	stopWorker()
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("fleet run: %v", err)
+	}
+	res, err := DecodeVerifiedResult(bodies[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) == 0 {
+		t.Fatal("fleet result carried no timeline")
+	}
+	if !bytes.Equal([]byte(res.Timeline), local) {
+		t.Fatalf("fleet timeline differs from local recording (%d vs %d bytes)",
+			len(res.Timeline), len(local))
+	}
+}

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -139,6 +140,23 @@ func TestTimelineHTTP(t *testing.T) {
 	}
 	if _, code := get("/fleet/timeline?limit=bogus"); code != 400 {
 		t.Errorf("bad limit: HTTP %d, want 400", code)
+	}
+	if _, code := get("/fleet/timeline?limit=2.5"); code != 400 {
+		t.Errorf("fractional limit: HTTP %d, want 400", code)
+	}
+	// Integer limits clamp to [1, timelineCap] rather than erroring or
+	// falling through as "everything".
+	evs, code = get("/fleet/timeline?limit=0")
+	if code != 200 || len(evs) != 1 {
+		t.Errorf("limit=0: HTTP %d, %d events, want 200 with 1 (clamped up)", code, len(evs))
+	}
+	evs, code = get("/fleet/timeline?limit=-5")
+	if code != 200 || len(evs) != 1 {
+		t.Errorf("limit=-5: HTTP %d, %d events, want 200 with 1 (clamped up)", code, len(evs))
+	}
+	evs, code = get(fmt.Sprintf("/fleet/timeline?limit=%d", timelineCap*10))
+	if code != 200 || len(evs) != 3 {
+		t.Errorf("huge limit: HTTP %d, %d events, want 200 with all 3 (clamped down)", code, len(evs))
 	}
 }
 

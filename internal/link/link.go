@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"oovr/internal/mem"
+	"oovr/internal/obs"
 	"oovr/internal/sim"
 	"oovr/internal/topo"
 )
@@ -47,6 +48,10 @@ type Fabric struct {
 	// traffic, when attached, receives per-physical-link (hop-level) byte
 	// accounting for every reservation.
 	traffic *mem.Traffic
+	// tl, when attached, records each hop's service window as a span on
+	// the physical link's lane (observation only; never read back).
+	tl     *obs.Timeline
+	tlLane []obs.LaneID // by topo link ID
 }
 
 // hop is one physical link of a resolved route: the bandwidth server plus
@@ -127,6 +132,20 @@ func (f *Fabric) AccountHops(t *mem.Traffic) {
 	f.traffic = t
 }
 
+// AttachTimeline records each hop reservation as a span on a per-link
+// lane (one trace process per physical link). ticksPerUs converts the
+// link clock's cycles to microseconds. A nil tl is a no-op.
+func (f *Fabric) AttachTimeline(tl *obs.Timeline, ticksPerUs float64) {
+	if tl == nil {
+		return
+	}
+	f.tl = tl
+	f.tlLane = make([]obs.LaneID, len(f.res))
+	for _, l := range f.g.Links() {
+		f.tlLane[l.ID] = tl.AddLane(l.Name, "flows", ticksPerUs)
+	}
+}
+
 // ReserveFlow queues the remote portions of a memory flow onto the physical
 // links that carry them, starting at time at, and returns the time the last
 // byte arrives. Each source's bytes traverse the route source->requester
@@ -138,13 +157,26 @@ func (f *Fabric) ReserveFlow(at sim.Time, flow mem.Flow) sim.Time {
 	end := at
 	bySrc := f.hops[flow.Requester]
 	tr := f.traffic
+	tl := f.tl
 	for src, bytes := range flow.RemoteBySrc {
 		if bytes == 0 || mem.GPMID(src) == flow.Requester {
 			continue
 		}
 		t := at
 		for _, h := range bySrc[src] {
+			s0 := t
+			if tl != nil {
+				// The FIFO queue may defer service: the span shows the
+				// window the link actually carried these bytes.
+				if nf := h.res.NextFree(); nf > s0 {
+					s0 = nf
+				}
+			}
 			t = h.res.Reserve(t, bytes)
+			if tl != nil && t > s0 {
+				tl.Span(f.tlLane[h.lid], "flow", int64(s0), int64(t),
+					obs.Arg{K: "bytes", V: int64(bytes)}, obs.Arg{K: "src", V: int64(src)})
+			}
 			if tr != nil {
 				tr.RecordHop(int(h.lid), bytes)
 			}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"oovr/internal/mem"
+	"oovr/internal/obs"
 	"oovr/internal/scene"
 	"oovr/internal/sim"
 )
@@ -47,6 +48,10 @@ func (s *System) ComposeToRoot(root mem.GPMID) sim.Time {
 	// A single GPM's ROPs process every pixel.
 	if e := s.rop[root].Reserve(start, totalPixels); e > end {
 		end = e
+	}
+	if s.tl != nil && end > start {
+		s.tl.Span(s.tlComp[root], "compose", int64(start), int64(end),
+			obs.Arg{K: "pixels", V: int64(totalPixels)}, obs.Arg{})
 	}
 	s.phases.Compose += end - renderEnd
 	s.advanceAll(end)
@@ -94,8 +99,13 @@ func (s *System) ComposeDistributed() sim.Time {
 		}
 	}
 	for o := 0; o < s.nGPM; o++ {
-		if e := s.rop[o].Reserve(start, ropPixels[o]); e > end {
+		e := s.rop[o].Reserve(start, ropPixels[o])
+		if e > end {
 			end = e
+		}
+		if s.tl != nil && ropPixels[o] > 0 {
+			s.tl.Span(s.tlComp[o], "compose", int64(start), int64(e),
+				obs.Arg{K: "pixels", V: int64(ropPixels[o])}, obs.Arg{})
 		}
 	}
 	s.phases.Compose += end - renderEnd

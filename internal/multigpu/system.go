@@ -15,6 +15,7 @@ import (
 
 	"oovr/internal/gpu"
 	"oovr/internal/link"
+	"oovr/internal/obs"
 	"oovr/internal/mem"
 	"oovr/internal/pipeline"
 	"oovr/internal/scene"
@@ -195,6 +196,15 @@ type System struct {
 	// phases accumulates the run's simulated cycles per frame phase
 	// (integer adds on paths already gated at 0 allocs/op).
 	phases PhaseCycles
+
+	// tl, when non-nil, records per-task phase spans on per-GPM lanes
+	// (simulated cycles; see internal/obs). Strictly observational: the
+	// recorder is fed values the simulation already computed and nothing
+	// reads it back. Disabled (nil) it costs one branch per phase, which
+	// the 0 allocs/op frame gate covers.
+	tl                             *obs.Timeline
+	tlShip, tlMig, tlExec, tlComp []obs.LaneID
+	taskSerial                     int64
 }
 
 // PhaseCycles breaks a run's simulated time into the frame phases: data
@@ -212,6 +222,33 @@ type PhaseCycles struct {
 
 // Phases returns the per-phase cycle totals accumulated so far.
 func (s *System) Phases() PhaseCycles { return s.phases }
+
+// AttachTimeline starts recording per-task phase spans into tl: one
+// trace process per GPM with ship/migrate/execute/compose lanes, plus
+// per-link flow lanes on the fabric. Lane time is simulated cycles;
+// ClockGHz*1000 cycles make a microsecond. Attach before the first
+// frame so lane registration order (and thus the exported byte stream)
+// is deterministic. A nil tl is a no-op.
+func (s *System) AttachTimeline(tl *obs.Timeline) {
+	if tl == nil {
+		return
+	}
+	s.tl = tl
+	ticks := s.opt.Config.ClockGHz * 1000
+	for g := 0; g < s.nGPM; g++ {
+		proc := fmt.Sprintf("gpm%d", g)
+		s.tlShip = append(s.tlShip, tl.AddLane(proc, "ship", ticks))
+		s.tlMig = append(s.tlMig, tl.AddLane(proc, "migrate", ticks))
+		s.tlExec = append(s.tlExec, tl.AddLane(proc, "execute", ticks))
+		s.tlComp = append(s.tlComp, tl.AddLane(proc, "compose", ticks))
+	}
+	if s.Fabric != nil {
+		s.Fabric.AttachTimeline(tl, ticks)
+	}
+}
+
+// Timeline returns the attached recorder, or nil when recording is off.
+func (s *System) Timeline() *obs.Timeline { return s.tl }
 
 // noSegment marks an empty resident slot.
 const noSegment = mem.SegmentID(-1)
@@ -446,12 +483,20 @@ type TaskContext struct {
 	// guaranteed to exist).
 	shipped bool
 	done    bool
+	// serial identifies the task on timeline spans (assigned only while
+	// recording; 0 otherwise).
+	serial int64
 }
 
 // Begin opens a task context on GPM g. The task starts no earlier than the
 // GPM's next availability.
 func (s *System) Begin(g mem.GPMID, task Task) *TaskContext {
-	return &TaskContext{sys: s, gpm: g, task: task, start: s.gpms[g].NextFree}
+	c := &TaskContext{sys: s, gpm: g, task: task, start: s.gpms[g].NextFree}
+	if s.tl != nil {
+		s.taskSerial++
+		c.serial = s.taskSerial
+	}
+	return c
 }
 
 // Start returns the task's current start time (phases that block push it).
@@ -522,6 +567,10 @@ func (c *TaskContext) Ship() {
 	}
 	s.shipIDs = ids[:0]
 	s.phases.Ship += shipEnd - c.start
+	if s.tl != nil && shipEnd > c.start {
+		s.tl.Span(s.tlShip[g], "ship", int64(c.start), int64(shipEnd),
+			obs.Arg{K: "task", V: c.serial}, obs.Arg{})
+	}
 	if !task.Prefetch {
 		c.start = shipEnd
 	}
@@ -565,6 +614,10 @@ func (c *TaskContext) Migrate() {
 		migrate(s.vertexSegment(g, task, p.Object.Index))
 	}
 	s.phases.Migrate += migEnd - c.start
+	if s.tl != nil && migEnd > c.start {
+		s.tl.Span(s.tlMig[g], "migrate", int64(c.start), int64(migEnd),
+			obs.Arg{K: "task", V: c.serial}, obs.Arg{})
+	}
 	if !task.Prefetch {
 		c.start = migEnd
 	}
@@ -666,6 +719,10 @@ func (c *TaskContext) Execute() sim.Time {
 	s.gpms[gi].NextFree = end
 	s.gpms[gi].Tasks++
 	s.phases.Execute += end - start
+	if s.tl != nil {
+		s.tl.Span(s.tlExec[gi], "execute", int64(start), int64(end),
+			obs.Arg{K: "task", V: c.serial}, obs.Arg{K: "parts", V: int64(len(task.Parts))})
+	}
 	return end
 }
 
@@ -677,6 +734,10 @@ func (s *System) Run(g mem.GPMID, task Task) sim.Time {
 	// A local context keeps the common path allocation-free (Begin's
 	// returned pointer would escape to the heap on every task).
 	c := TaskContext{sys: s, gpm: g, task: task, start: s.gpms[g].NextFree}
+	if s.tl != nil {
+		s.taskSerial++
+		c.serial = s.taskSerial
+	}
 	if task.ShipTextures {
 		c.Ship()
 	}

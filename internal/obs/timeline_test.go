@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTimelineNilSafe(t *testing.T) {
+	var tl *Timeline
+	if id := tl.AddLane("p", "l", 1); id != -1 {
+		t.Fatalf("nil AddLane = %d, want -1", id)
+	}
+	tl.Span(-1, "s", 0, 10, Arg{}, Arg{})
+	tl.Instant(-1, "i", 5, Arg{})
+	if ev := tl.Events(); ev != nil {
+		t.Fatalf("nil Events = %v, want nil", ev)
+	}
+	if ln := tl.Lanes(); ln != nil {
+		t.Fatalf("nil Lanes = %v, want nil", ln)
+	}
+	if d := tl.Dropped(); d != 0 {
+		t.Fatalf("nil Dropped = %d, want 0", d)
+	}
+	if u, h := tl.Utilization(4); u != nil || h != 0 {
+		t.Fatalf("nil Utilization = %v, %v", u, h)
+	}
+	if got := string(tl.EncodeTraceEvents()); got != `{"traceEvents":[]}` {
+		t.Fatalf("nil encode = %s", got)
+	}
+}
+
+func TestTimelineNilRecordingAllocFree(t *testing.T) {
+	var tl *Timeline
+	n := testing.AllocsPerRun(100, func() {
+		tl.Span(-1, "s", 0, 10, Arg{K: "a", V: 1}, Arg{})
+		tl.Instant(-1, "i", 5, Arg{K: "b", V: 2})
+	})
+	if n != 0 {
+		t.Fatalf("nil-timeline recording allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestTimelineRecordingAllocFree(t *testing.T) {
+	tl := NewTimeline()
+	lane := tl.AddLane("gpm0", "execute", 1000)
+	var at int64
+	n := testing.AllocsPerRun(100, func() {
+		tl.Span(lane, "execute", at, at+10, Arg{K: "task", V: at}, Arg{})
+		at += 10
+	})
+	if n != 0 {
+		t.Fatalf("in-ring recording allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestTimelineRingOverwrite(t *testing.T) {
+	tl := NewTimeline()
+	lane := tl.AddLane("p", "l", 1)
+	total := DefaultTimelineCap + 10
+	for i := 0; i < total; i++ {
+		tl.Span(lane, "s", int64(i), int64(i+1), Arg{}, Arg{})
+	}
+	ev := tl.Events()
+	if len(ev) != DefaultTimelineCap {
+		t.Fatalf("retained %d events, want %d", len(ev), DefaultTimelineCap)
+	}
+	if tl.Dropped() != 10 {
+		t.Fatalf("Dropped = %d, want 10", tl.Dropped())
+	}
+	if ev[0].Start != 10 {
+		t.Fatalf("oldest retained start = %d, want 10 (events 0-9 overwritten)", ev[0].Start)
+	}
+	if last := ev[len(ev)-1]; last.Start != int64(total-1) {
+		t.Fatalf("newest retained start = %d, want %d", last.Start, total-1)
+	}
+}
+
+func TestTimelineEncodeShape(t *testing.T) {
+	tl := NewTimeline()
+	// A proc name with characters json.Marshal HTML-escapes, to pin the
+	// RawMessage round-trip invariant below.
+	l0 := tl.AddLane("link0->1 & co", "flows", 2)
+	l1 := tl.AddLane("gpm0", "execute", 2)
+	tl.Span(l0, "flow", 4, 10, Arg{K: "bytes", V: 256}, Arg{K: "src", V: 1})
+	tl.Instant(l1, "mark", 6, Arg{})
+	enc := tl.EncodeTraceEvents()
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(enc, &doc); err != nil {
+		t.Fatalf("encoding is not valid JSON: %v\n%s", err, enc)
+	}
+	// 2 process_name + 2 thread_name + 1 span + 1 instant.
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("got %d events, want 6: %s", len(doc.TraceEvents), enc)
+	}
+	span := doc.TraceEvents[4]
+	if span["ph"] != "X" || span["ts"] != 2.0 || span["dur"] != 3.0 {
+		t.Fatalf("span event wrong: %v", span)
+	}
+	args, _ := span["args"].(map[string]any)
+	if args["bytes"] != 256.0 || args["src"] != 1.0 {
+		t.Fatalf("span args wrong: %v", span["args"])
+	}
+	inst := doc.TraceEvents[5]
+	if inst["ph"] != "i" || inst["s"] != "t" || inst["ts"] != 3.0 {
+		t.Fatalf("instant event wrong: %v", inst)
+	}
+	if _, ok := inst["args"]; ok {
+		t.Fatalf("argless instant should omit args: %v", inst)
+	}
+
+	// The encoding must survive a json.RawMessage round-trip (how it
+	// rides on a Result through the fleet) byte-identically: compact,
+	// HTML-escaped strings, no trailing newline.
+	wrapped, err := json.Marshal(struct {
+		T json.RawMessage `json:"t"`
+	}{T: enc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		T json.RawMessage `json:"t"`
+	}
+	if err := json.Unmarshal(wrapped, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal([]byte(back.T), enc) {
+		t.Fatalf("RawMessage round-trip changed bytes:\n got %s\nwant %s", back.T, enc)
+	}
+}
+
+func TestTimelineFingerprintDeterministic(t *testing.T) {
+	mk := func() *Timeline {
+		tl := NewTimeline()
+		a := tl.AddLane("gpm0", "execute", 1000)
+		b := tl.AddLane("gpm1", "execute", 1000)
+		tl.Span(a, "execute", 0, 500, Arg{K: "task", V: 1}, Arg{})
+		tl.Span(b, "execute", 100, 900, Arg{K: "task", V: 2}, Arg{})
+		tl.Instant(a, "mark", 500, Arg{K: "n", V: 3})
+		return tl
+	}
+	if f1, f2 := mk().Fingerprint(), mk().Fingerprint(); f1 != f2 {
+		t.Fatalf("identical recordings fingerprint differently: %s vs %s", f1, f2)
+	}
+}
+
+func TestTimelineUtilization(t *testing.T) {
+	tl := NewTimeline()
+	// 2 ticks/µs: horizon 100 ticks = 50µs; 4 windows of 12.5µs each.
+	busyLane := tl.AddLane("gpm0", "execute", 2)
+	idleLane := tl.AddLane("gpm1", "execute", 2)
+	_ = idleLane
+	tl.Span(busyLane, "execute", 0, 50, Arg{}, Arg{})   // 0-25µs: windows 0 and 1
+	tl.Span(busyLane, "execute", 80, 100, Arg{}, Arg{}) // 40-50µs: 80% of window 3
+	utils, horizon := tl.Utilization(4)
+	if horizon != 50 {
+		t.Fatalf("horizon = %v µs, want 50", horizon)
+	}
+	if len(utils) != 1 {
+		t.Fatalf("got %d lanes with spans, want 1 (idle lanes omitted): %v", len(utils), utils)
+	}
+	u := utils[0]
+	if u.Proc != "gpm0" || u.Lane != "execute" {
+		t.Fatalf("wrong lane: %+v", u)
+	}
+	want := []float64{1, 1, 0, 0.8}
+	for i, v := range u.Busy {
+		if diff := v - want[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("window %d busy = %v, want %v (all: %v)", i, v, want[i], u.Busy)
+		}
+	}
+}
+
+func TestTimelineAddLaneRejectsBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddLane with ticksPerUs=0 did not panic")
+		}
+	}()
+	NewTimeline().AddLane("p", "l", 0)
+}

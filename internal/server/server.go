@@ -241,6 +241,18 @@ func (s *Server) Result(ctx context.Context, rs spec.RunSpec) (body []byte, hash
 	if err != nil {
 		return nil, "", false, err
 	}
+	if rs.Timeline {
+		// Timeline requests bypass the cache entirely: the knob is folded
+		// out of the content address (it never changes Metrics), so a
+		// timeline body and its plain twin share a hash — caching either
+		// under it would serve the wrong shape to the other submitter.
+		// Execute fresh, store nothing.
+		s.mu.Lock()
+		s.stats.CacheMisses++
+		s.mu.Unlock()
+		body, err = s.resolveAndExecute(ctx, rs, hash)
+		return body, hash, false, err
+	}
 	if s.opt.CacheEntries < 0 {
 		// Still a miss for the counters: every submission lands under
 		// hits or misses, cache or no cache.
@@ -383,6 +395,9 @@ func (s *Server) execute(ctx context.Context, run *spec.Run, hash string) (body 
 	res, err := spec.NewResult(run.Spec, m)
 	if err != nil {
 		return nil, execError{err}
+	}
+	if run.Timeline != nil {
+		res.Timeline = run.Timeline.EncodeTraceEvents()
 	}
 	body, err = res.Encode()
 	if err != nil {

@@ -28,6 +28,7 @@ import (
 
 	"oovr/internal/driver"
 	"oovr/internal/multigpu"
+	"oovr/internal/obs"
 	"oovr/internal/par"
 	"oovr/internal/scene"
 	"oovr/internal/spec"
@@ -221,6 +222,36 @@ type Cell struct {
 	// telemetry (0 sampleMs = off; one branch on the hot path)
 	sampleMs   float64
 	nextSample float64
+
+	// tl, when attached, records session-lifecycle lanes: admit/reject
+	// instants on a cluster admission lane, frame spans and drop/evict
+	// instants on per-node lanes. Lane time is virtual microseconds
+	// (TicksPerUs 1; the cell clock runs in ms, scaled by usTicks).
+	// Observation only — never read back. Nil costs one branch per event,
+	// which BenchmarkServiceTick's 0 allocs/op gate covers.
+	tl     *obs.Timeline
+	tlAdm  obs.LaneID
+	tlNode []obs.LaneID
+}
+
+// usTicks converts the cell's virtual-ms clock to integer microsecond
+// ticks for timeline recording (sub-ms frame costs survive).
+func usTicks(ms float64) int64 { return int64(ms * 1000) }
+
+// AttachTimeline starts recording session-lifecycle events into tl: one
+// "cluster/admission" lane plus a "nodeN/sessions" lane per node. Attach
+// right after OpenCell, before the first Step, so lane order is
+// deterministic. A nil tl is a no-op.
+func (c *Cell) AttachTimeline(tl *obs.Timeline) {
+	if tl == nil {
+		return
+	}
+	c.tl = tl
+	c.tlAdm = tl.AddLane("cluster", "admission", 1)
+	c.tlNode = make([]obs.LaneID, len(c.nodes))
+	for i := range c.nodes {
+		c.tlNode[i] = tl.AddLane(fmt.Sprintf("node%d", i), "sessions", 1)
+	}
 }
 
 // group is one resolved node group: everything shared by its nodes.
@@ -450,6 +481,9 @@ func (c *Cell) arrive(idx int, t float64) {
 	pick := c.router.Route(c.rep.Arrivals-1, c.views)
 	if pick < 0 || pick >= len(c.nodes) || c.nodes[pick].active >= c.sp.MaxSessionsPerNode {
 		c.rep.Rejected++
+		if c.tl != nil {
+			c.tl.Instant(c.tlAdm, "reject", usTicks(t), obs.Arg{})
+		}
 		return
 	}
 	mix := c.sp.Sessions[a.mix]
@@ -501,6 +535,9 @@ func (c *Cell) arrive(idx int, t float64) {
 	if c.active > c.rep.PeakSessions {
 		c.rep.PeakSessions = c.active
 	}
+	if c.tl != nil {
+		c.tl.Instant(c.tlAdm, "admit", usTicks(t), obs.Arg{K: "node", V: int64(pick)})
+	}
 	// Frame 0 is due at the admission instant.
 	c.push(event{t: t, kind: evFrame, seq: c.nextSeq(), sess: si})
 }
@@ -519,6 +556,9 @@ func (c *Cell) renderFrame(s *session, e event) {
 		// The node is too far behind for this frame to matter on screen.
 		c.rep.DroppedFrames++
 		s.drops++
+		if c.tl != nil {
+			c.tl.Instant(c.tlNode[s.node], "drop", usTicks(due), obs.Arg{K: "sess", V: int64(e.sess)})
+		}
 		// The stream must stay in lockstep with the frame index: a skipped
 		// frame still consumes its pre-drawn jitter so later frames are
 		// identical to an unloaded run's.
@@ -527,6 +567,9 @@ func (c *Cell) renderFrame(s *session, e event) {
 		}
 		s.next++
 		if s.drops > evictAfterDrops {
+			if c.tl != nil {
+				c.tl.Instant(c.tlNode[s.node], "evict", usTicks(due), obs.Arg{K: "sess", V: int64(e.sess)})
+			}
 			c.endSession(s, e.sess, false)
 			return
 		}
@@ -550,6 +593,10 @@ func (c *Cell) renderFrame(s *session, e event) {
 		c.rep.Frames++
 		if lat > c.deadline {
 			c.rep.LateFrames++
+		}
+		if c.tl != nil {
+			c.tl.Span(c.tlNode[s.node], "frame", usTicks(start), usTicks(finish),
+				obs.Arg{K: "sess", V: int64(e.sess)}, obs.Arg{K: "frame", V: int64(s.next - 1)})
 		}
 	}
 	if s.next >= s.frames {

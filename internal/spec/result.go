@@ -22,6 +22,13 @@ type Result struct {
 	SpecHash      string           `json:"spec_hash"`
 	Spec          RunSpec          `json:"spec"`
 	Metrics       multigpu.Metrics `json:"metrics"`
+	// Timeline carries the run's encoded trace-event document when the
+	// submitted spec asked for one (spec.Timeline). It rides OUTSIDE the
+	// canonical encoding: the knob is folded out of SpecHash and Spec, the
+	// server never caches timeline bodies, and the encoder's output is
+	// compact pre-escaped JSON so this RawMessage survives a Result
+	// marshal/unmarshal round-trip byte-identically (the fleet path).
+	Timeline json.RawMessage `json:"timeline,omitempty"`
 }
 
 // NewResult assembles a Result for the given spec and metrics; the spec is
@@ -39,6 +46,7 @@ func NewResult(s RunSpec, m multigpu.Metrics) (Result, error) {
 		return Result{}, err
 	}
 	n.Stream = false
+	n.Timeline = false
 	return Result{SchemaVersion: ResultSchemaVersion, SpecHash: h, Spec: n, Metrics: m}, nil
 }
 

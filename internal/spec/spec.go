@@ -12,6 +12,7 @@ import (
 	"oovr/internal/driver"
 	"oovr/internal/mem"
 	"oovr/internal/multigpu"
+	"oovr/internal/obs"
 	"oovr/internal/render"
 	"oovr/internal/topo"
 	"oovr/internal/workload"
@@ -69,6 +70,12 @@ type RunSpec struct {
 	// materializing the scene; metrics are identical either way (the
 	// determinism tests pin it), so this is an execution-path knob.
 	Stream bool `json:"stream,omitempty"`
+	// Timeline records a simulated-time execution trace during the run
+	// (internal/obs.Timeline); the encoded trace rides back on the Result
+	// outside the canonical encoding. Like Stream it is an execution-path
+	// knob: Metrics are identical with or without it (observation never
+	// feeds back), so it does not participate in the content address.
+	Timeline bool `json:"timeline,omitempty"`
 }
 
 // Decode strictly reads one RunSpec from r: unknown fields and trailing
@@ -231,6 +238,10 @@ type Run struct {
 	// enters the canonical Result encoding, so content addresses and golden
 	// fingerprints are untouched.
 	Phases multigpu.PhaseCycles
+	// Timeline is the simulated-time execution trace, populated by Execute
+	// when the spec's Timeline knob is set (nil otherwise). Observational,
+	// like Phases: it never enters the canonical Result encoding.
+	Timeline *obs.Timeline
 
 	layout LayoutFunc
 }
@@ -332,9 +343,13 @@ func validOptions(opt multigpu.Options) (err error) {
 // this for every registered scheduler).
 func (r *Run) Execute() multigpu.Metrics {
 	c := r.Case
+	if r.Spec.Timeline {
+		r.Timeline = obs.NewTimeline()
+	}
 	if r.Spec.Stream {
 		st := c.Spec.Stream(c.Width, c.Height, r.Spec.Frames, r.Spec.Seed)
 		sys := multigpu.New(r.Options, st.Header())
+		sys.AttachTimeline(r.Timeline)
 		r.layout(sys)
 		ses := driver.Open(sys, r.Planner)
 		for {
@@ -350,6 +365,7 @@ func (r *Run) Execute() multigpu.Metrics {
 	}
 	sc := c.Spec.Generate(c.Width, c.Height, r.Spec.Frames, r.Spec.Seed)
 	sys := multigpu.New(r.Options, sc)
+	sys.AttachTimeline(r.Timeline)
 	r.layout(sys)
 	m := driver.Run(sys, r.Planner)
 	r.Phases = sys.Phases()
@@ -380,13 +396,17 @@ func (s RunSpec) Canonical() ([]byte, error) {
 // canonical encoding with execution-path knobs folded out. Stream does not
 // participate — batch and streamed runs produce byte-identical Metrics
 // (pinned by the determinism tests) — so the same configuration submitted
-// either way shares one cache entry.
+// either way shares one cache entry. Timeline is folded out for the same
+// reason (recording never perturbs Metrics); the server bypasses its
+// result cache for timeline requests so the folded address never serves
+// a cached body without its trace.
 func (s RunSpec) Hash() (string, error) {
 	n, err := s.Normalized()
 	if err != nil {
 		return "", err
 	}
 	n.Stream = false
+	n.Timeline = false
 	c, err := json.Marshal(n)
 	if err != nil {
 		return "", err

@@ -1,0 +1,133 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced by
+// oovrsim -timeline and, optionally, pins its fingerprint against a golden.
+//
+//	go run ./scripts/tracecheck [-golden scripts/timeline_golden.txt] trace.json
+//
+// Validation is structural: the file must be a {"traceEvents":[...]} object
+// whose events are well-formed "M" metadata, "X" complete spans or "i"
+// instants (the only phases the encoder emits), and it must contain at least
+// one span — an empty or metadata-only timeline means the simulator's
+// instrumentation hooks silently stopped firing. The fingerprint is the hex
+// SHA-256 of the raw file bytes, the same digest internal/obs.Fingerprint
+// computes and oovrsim prints, so a golden mismatch here means the timeline
+// is no longer byte-identical to the checked-in reference run.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	golden := flag.String("golden", "", "file holding the expected hex sha256 of the trace bytes")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-golden file] trace.json")
+		os.Exit(2)
+	}
+	if err := check(flag.Arg(0), *golden); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func check(path, goldenPath string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("%s: not trace-event JSON: %v", path, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("%s: no events", path)
+	}
+	spans := 0
+	for i, ev := range doc.TraceEvents {
+		if err := checkEvent(ev); err != nil {
+			return fmt.Errorf("%s: event %d: %v", path, i, err)
+		}
+		if ev["ph"] == "X" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		return fmt.Errorf("%s: no complete (X) spans among %d events", path, len(doc.TraceEvents))
+	}
+	fp := hex.EncodeToString(func() []byte { h := sha256.Sum256(raw); return h[:] }())
+	fmt.Printf("tracecheck: %s ok (%d events, %d spans, sha256 %s)\n",
+		path, len(doc.TraceEvents), spans, fp[:16])
+	if goldenPath == "" {
+		return nil
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		return err
+	}
+	if w := strings.TrimSpace(string(want)); fp != w {
+		return fmt.Errorf("fingerprint %s != golden %s — the timeline diverged from the reference run; "+
+			"if intentional, regenerate %s", fp, w, goldenPath)
+	}
+	fmt.Println("tracecheck: fingerprint matches golden")
+	return nil
+}
+
+// checkEvent validates one trace event against the shapes the encoder in
+// internal/obs/traceevent.go emits.
+func checkEvent(ev map[string]any) error {
+	ph, _ := ev["ph"].(string)
+	switch ph {
+	case "M":
+		name, _ := ev["name"].(string)
+		if name != "process_name" && name != "thread_name" {
+			return fmt.Errorf("metadata name %q", name)
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			return fmt.Errorf("metadata missing pid")
+		}
+		args, _ := ev["args"].(map[string]any)
+		if n, _ := args["name"].(string); n == "" {
+			return fmt.Errorf("metadata missing args.name")
+		}
+	case "X":
+		if err := requireNums(ev, "pid", "tid", "ts", "dur"); err != nil {
+			return err
+		}
+		if d := ev["dur"].(float64); d < 0 {
+			return fmt.Errorf("negative dur %v", d)
+		}
+		if n, _ := ev["name"].(string); n == "" {
+			return fmt.Errorf("span missing name")
+		}
+	case "i":
+		if err := requireNums(ev, "pid", "tid", "ts"); err != nil {
+			return err
+		}
+		if n, _ := ev["name"].(string); n == "" {
+			return fmt.Errorf("instant missing name")
+		}
+		if s, _ := ev["s"].(string); s != "t" {
+			return fmt.Errorf("instant scope %q, want thread", s)
+		}
+	default:
+		return fmt.Errorf("unknown phase %q", ph)
+	}
+	return nil
+}
+
+func requireNums(ev map[string]any, keys ...string) error {
+	for _, k := range keys {
+		if _, ok := ev[k].(float64); !ok {
+			return fmt.Errorf("%s is %T, want number", k, ev[k])
+		}
+	}
+	return nil
+}
